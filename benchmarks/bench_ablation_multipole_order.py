@@ -1,0 +1,102 @@
+"""Ablation — multipole expansion order (monopole/dipole/quadrupole).
+
+The tree code's far field truncates the streamfunction expansion; the
+order trades per-interaction flops against MAC-limited accuracy.  The
+paper's PEPC uses fixed-order expansions — this ablation quantifies what
+each order buys on the actual model problem, at the paper's two thetas.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from common import format_table, sheet_problem
+from repro.tree import TreeEvaluator
+from repro.vortex import DirectEvaluator, get_kernel
+
+N_CI = 800
+ORDERS = (0, 1, 2)
+THETAS = (0.3, 0.6)
+
+
+def run_experiment(n: int = N_CI) -> List[Dict]:
+    problem, u0, cfg = sheet_problem(n)
+    kernel = get_kernel("algebraic6")
+    positions = u0[0]
+    charges = u0[1] * problem.volumes[:, None]
+    ref = DirectEvaluator(kernel, cfg.sigma).field(positions, charges)
+    rows = []
+    for theta in THETAS:
+        for order in ORDERS:
+            ev = TreeEvaluator(kernel, cfg.sigma, theta=theta, order=order,
+                               leaf_size=48)
+            out = ev.field(positions, charges)
+            err_u = np.max(np.abs(out.velocity - ref.velocity)) / np.max(
+                np.abs(ref.velocity)
+            )
+            err_g = np.max(np.abs(out.gradient - ref.gradient)) / np.max(
+                np.abs(ref.gradient)
+            )
+            rows.append({
+                "theta": theta, "order": order,
+                "rel_err_u": float(err_u), "rel_err_gradu": float(err_g),
+                "seconds": ev.mean_cost,
+            })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_higher_order_more_accurate(results):
+    for theta in THETAS:
+        errs = [r["rel_err_u"] for r in results if r["theta"] == theta]
+        assert errs[2] < errs[0]
+        assert errs[1] < errs[0]
+
+
+def test_quadrupole_at_coarse_theta_beats_monopole_at_fine(results):
+    """Order can substitute for theta: order-2 at 0.6 is competitive
+    with order-0 at 0.3."""
+    by = {(r["theta"], r["order"]): r for r in results}
+    assert by[(0.6, 2)]["rel_err_u"] < by[(0.3, 0)]["rel_err_u"]
+
+
+def test_gradient_error_tracks_velocity_error(results):
+    for r in results:
+        assert r["rel_err_gradu"] < 100 * max(r["rel_err_u"], 1e-12)
+
+
+def test_benchmark_far_field_order2(benchmark, rng):
+    from repro.tree.evaluate import evaluate_vortex_far
+
+    k = get_kernel("algebraic6")
+    targets = rng.normal(size=(48, 3))
+    centers = rng.normal(size=(300, 3)) * 5
+    m0 = rng.normal(size=(300, 3))
+    m1 = rng.normal(size=(300, 3, 3))
+    m2 = rng.normal(size=(300, 3, 3, 3))
+    m2 = 0.5 * (m2 + m2.swapaxes(2, 3))
+    benchmark(lambda: evaluate_vortex_far(
+        targets, centers, m0, m1, m2, k, 0.5, order=2, gradient=True,
+    ))
+
+
+def main(argv: List[str]) -> None:
+    rows = run_experiment()
+    print("Ablation — multipole order vs accuracy/cost")
+    print(format_table(
+        ["theta", "order", "rel err u", "rel err grad u", "seconds"],
+        [[r["theta"], r["order"], r["rel_err_u"], r["rel_err_gradu"],
+          r["seconds"]] for r in rows],
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

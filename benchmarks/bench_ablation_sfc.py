@@ -1,0 +1,108 @@
+"""Ablation — space-filling curve choice for the domain decomposition.
+
+PEPC partitions particles along a space-filling curve (paper Fig. 3).
+Morton (Z-order) is cheap but produces stripy partitions; Hilbert costs
+more bit-twiddling but yields compact ranks.  This ablation measures
+partition compactness (total bounding-box surface) and branch-node counts
+(the Fig. 5 communication driver) for both curves on uniform and
+clustered particle sets.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from common import format_table
+from repro.tree.domain import (
+    branch_counts,
+    partition_box_surface,
+    sfc_partition,
+)
+
+N_CI = 4000
+RANKS = (8, 32)
+
+
+def make_cloud(kind: str, n: int = N_CI, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if kind == "uniform":
+        return rng.random((n, 3))
+    if kind == "clustered":
+        centers = rng.random((8, 3)) * 4
+        idx = rng.integers(0, 8, n)
+        return centers[idx] + rng.normal(0, 0.05, (n, 3))
+    raise ValueError(kind)
+
+
+def run_experiment(n: int = N_CI) -> List[Dict]:
+    rows = []
+    for kind in ("uniform", "clustered"):
+        pos = make_cloud(kind, n)
+        for curve in ("morton", "hilbert"):
+            for ranks in RANKS:
+                d = sfc_partition(pos, ranks, curve=curve)
+                rows.append({
+                    "cloud": kind,
+                    "curve": curve,
+                    "ranks": ranks,
+                    "surface": partition_box_surface(pos, d),
+                    "branches_total": int(branch_counts(d).sum()),
+                    "imbalance": d.imbalance,
+                })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_balanced_everywhere(results):
+    for r in results:
+        assert r["imbalance"] < 1.01
+
+
+def test_hilbert_more_compact_on_uniform_cloud(results):
+    for ranks in RANKS:
+        morton = next(r for r in results if r["cloud"] == "uniform"
+                      and r["curve"] == "morton" and r["ranks"] == ranks)
+        hilbert = next(r for r in results if r["cloud"] == "uniform"
+                       and r["curve"] == "hilbert" and r["ranks"] == ranks)
+        assert hilbert["surface"] <= morton["surface"] * 1.05
+
+
+def test_branch_totals_grow_with_ranks(results):
+    for kind in ("uniform", "clustered"):
+        for curve in ("morton", "hilbert"):
+            sel = [r for r in results
+                   if r["cloud"] == kind and r["curve"] == curve]
+            assert sel[0]["branches_total"] < sel[1]["branches_total"]
+
+
+def test_benchmark_hilbert_partition(benchmark):
+    pos = make_cloud("uniform")
+    benchmark(lambda: sfc_partition(pos, 32, curve="hilbert"))
+
+
+def test_benchmark_morton_partition(benchmark):
+    pos = make_cloud("uniform")
+    benchmark(lambda: sfc_partition(pos, 32, curve="morton"))
+
+
+def main(argv: List[str]) -> None:
+    rows = run_experiment()
+    print("Ablation — SFC partition quality (Morton vs Hilbert)")
+    print(format_table(
+        ["cloud", "curve", "ranks", "box surface", "total branches",
+         "imbalance"],
+        [[r["cloud"], r["curve"], r["ranks"], r["surface"],
+          r["branches_total"], r["imbalance"]] for r in rows],
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,103 @@
+"""Fig. 7a — SDC order verification on the vortex sheet (direct solver).
+
+Paper setup: N = 10,000 particles, T = 16, direct summation, 3
+Gauss-Lobatto nodes; SDC(2)/SDC(3)/SDC(4) vs dt against an 8th-order SDC
+reference with dt = 0.01.  Expected: the error curves follow 2nd/3rd/4th
+order slopes down to the node-count-limited floor.
+
+Scaled default here: N = 150, T = 2 (same code path, same slopes).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from common import (
+    Scale,
+    format_table,
+    observed_orders,
+    reference_solution,
+    rel_max_position_error,
+    sheet_problem,
+)
+from repro.sdc import SDCStepper
+
+CI_SCALE = Scale(n_particles=150, t_end=2.0, dts=(0.5, 0.25, 0.125),
+                 ref_dt=0.025, sigma_over_h=3.0)
+PAPER_SCALE = Scale(n_particles=10_000, t_end=16.0,
+                    dts=(1.0, 0.5, 0.25, 0.125), ref_dt=0.01,
+                    sigma_over_h=18.53)
+
+SWEEP_COUNTS = (2, 3, 4)
+
+
+def run_experiment(scale: Scale = CI_SCALE) -> Dict[int, List[float]]:
+    """Error-vs-dt curves for SDC(K), K in SWEEP_COUNTS."""
+    problem, u0, _ = sheet_problem(scale.n_particles,
+                                   sigma_over_h=scale.sigma_over_h)
+    u_ref = reference_solution(problem, u0, scale.t_end, scale.ref_dt)
+    curves: Dict[int, List[float]] = {}
+    for sweeps in SWEEP_COUNTS:
+        errors = []
+        for dt in scale.dts:
+            stepper = SDCStepper(problem, num_nodes=3, sweeps=sweeps)
+            u = stepper.run(u0, 0.0, scale.t_end, dt)
+            errors.append(rel_max_position_error(u, u_ref))
+        curves[sweeps] = errors
+    return curves
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return run_experiment(CI_SCALE)
+
+
+@pytest.mark.parametrize("sweeps,expected_order", [(2, 2), (3, 3), (4, 4)])
+def test_sdc_k_converges_at_order_k(curves, sweeps, expected_order):
+    """The headline claim of Fig. 7a."""
+    orders = observed_orders(CI_SCALE.dts, curves[sweeps])
+    assert orders[-1] > expected_order - 0.7
+
+
+def test_more_sweeps_is_more_accurate(curves):
+    for dt_idx in range(len(CI_SCALE.dts)):
+        errs = [curves[k][dt_idx] for k in SWEEP_COUNTS]
+        assert errs[0] > errs[1] > errs[2]
+
+
+def test_errors_decrease_with_dt(curves):
+    for sweeps in SWEEP_COUNTS:
+        errs = curves[sweeps]
+        assert all(errs[i] > errs[i + 1] for i in range(len(errs) - 1))
+
+
+def test_benchmark_sdc4_step(benchmark):
+    """Timing of one SDC(4) step of the model problem (the unit whose
+    serial cost defines the speedup baseline, Eq. 21)."""
+    problem, u0, _ = sheet_problem(CI_SCALE.n_particles,
+                                   sigma_over_h=CI_SCALE.sigma_over_h)
+    stepper = SDCStepper(problem, num_nodes=3, sweeps=4)
+    benchmark(lambda: stepper.step(0.0, 0.5, u0))
+
+
+def main(argv: List[str]) -> None:
+    scale = PAPER_SCALE if "--paper-scale" in argv else CI_SCALE
+    curves = run_experiment(scale)
+    rows = []
+    for dt_idx, dt in enumerate(scale.dts):
+        rows.append([dt] + [curves[k][dt_idx] for k in SWEEP_COUNTS])
+    print("Fig. 7a — relative max position error vs dt "
+          f"(N={scale.n_particles}, T={scale.t_end})")
+    print(format_table(["dt", "SDC(2)", "SDC(3)", "SDC(4)"], rows))
+    for k in SWEEP_COUNTS:
+        orders = observed_orders(scale.dts, curves[k])
+        print(f"observed orders SDC({k}): "
+              + ", ".join(f"{o:.2f}" for o in orders))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

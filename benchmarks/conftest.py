@@ -1,0 +1,9 @@
+"""Pytest configuration and shared fixtures for the benchmark harness."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2012)

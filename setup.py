@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``python setup.py develop`` on minimal/offline environments where
+pip's PEP-517 editable path is unavailable (no ``wheel`` package, no
+network).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

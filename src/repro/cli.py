@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print version, installed subsystems and available kernels/integrators.
+``sheet``
+    Run the spherical vortex sheet with a chosen integrator and print
+    invariant drift (a quick end-to-end smoke run).
+``speedup``
+    Miniature Fig. 8: measured vs theoretical PFASST speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Space-time parallel N-body solver (Speck et al., SC12)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print build information")
+
+    sheet = sub.add_parser("sheet", help="run the vortex sheet model problem")
+    sheet.add_argument("-n", type=int, default=400, help="particle count")
+    sheet.add_argument("--t-end", type=float, default=2.0)
+    sheet.add_argument("--dt", type=float, default=0.5)
+    sheet.add_argument("--method", default="sdc",
+                       choices=["euler", "rk2", "rk3", "rk4", "sdc",
+                                "pfasst"])
+    sheet.add_argument("--evaluator", default="tree",
+                       choices=["direct", "tree"])
+    sheet.add_argument("--theta", type=float, default=0.3)
+    sheet.add_argument("--p-time", type=int, default=4,
+                       help="time ranks (pfasst only)")
+    sheet.add_argument("--sigma-over-h", type=float, default=3.0)
+    sheet.add_argument("--save", type=str, default=None,
+                       help="write the final state to this .npz path")
+
+    speed = sub.add_parser("speedup", help="miniature Fig. 8 study")
+    speed.add_argument("-n", type=int, default=500)
+    speed.add_argument("--steps", type=int, default=4)
+    speed.add_argument("--p-times", type=int, nargs="+", default=[1, 2, 4])
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.integrators import available_integrators
+    from repro.sdc.nodes import available_node_types
+    from repro.vortex import available_kernels
+
+    print(f"repro {repro.__version__} — space-time parallel N-body solver")
+    print(f"kernels:      {', '.join(available_kernels())}")
+    print(f"integrators:  {', '.join(available_integrators())}, sdc, pfasst")
+    print(f"node types:   {', '.join(available_node_types())}")
+    print("subsystems:   vortex, tree, nbody, sdc, pfasst, parallel, "
+          "perfmodel, integrators")
+    return 0
+
+
+def _cmd_sheet(args: argparse.Namespace) -> int:
+    from repro import SolverConfig, SpaceTimeSolver, spherical_vortex_sheet
+    from repro.core import SpaceConfig, TimeConfig
+    from repro.vortex.diagnostics import compute_diagnostics
+    from repro.vortex.sheet import SheetConfig
+
+    sheet = SheetConfig(n=args.n, sigma_over_h=args.sigma_over_h)
+    ps = spherical_vortex_sheet(sheet)
+    config = SolverConfig(
+        space=SpaceConfig(evaluator=args.evaluator, theta=args.theta),
+        time=TimeConfig(method=args.method, t_end=args.t_end, dt=args.dt,
+                        p_time=args.p_time),
+    )
+    before = compute_diagnostics(ps).as_dict()
+    result = SpaceTimeSolver(ps, sheet.sigma, config).run()
+    after = compute_diagnostics(result.final, time=args.t_end).as_dict()
+    print(f"method={args.method} evaluator={args.evaluator} N={args.n} "
+          f"T={args.t_end} dt={args.dt}")
+    print(f"fine RHS evaluations: {result.fine_evals} "
+          f"({result.fine_eval_seconds:.2f}s)")
+    if result.alpha_measured is not None:
+        print(f"measured alpha: {result.alpha_measured:.3f}")
+    for key in ("total_vorticity_norm", "linear_impulse_norm", "enstrophy"):
+        print(f"{key}: {before[key]:.6g} -> {after[key]:.6g}")
+    if args.save:
+        from repro.io import save_particles
+
+        path = save_particles(args.save, result.final, time=args.t_end)
+        print(f"final state written to {path}")
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.parallel import CommCostModel, Scheduler
+    from repro.pfasst import (LevelSpec, PfasstConfig, run_pfasst,
+                              speedup_two_level)
+    from repro.sdc import SDCStepper
+    from repro.tree import TreeEvaluator
+    from repro.vortex import VortexProblem, get_kernel, spherical_vortex_sheet
+    from repro.vortex.sheet import SheetConfig
+
+    sheet = SheetConfig(n=args.n, sigma_over_h=3.0)
+    ps = spherical_vortex_sheet(sheet)
+    kernel = get_kernel("algebraic6")
+    fine = VortexProblem(
+        ps.volumes, TreeEvaluator(kernel, sheet.sigma, theta=0.3)
+    )
+    coarse = fine.with_evaluator(
+        TreeEvaluator(kernel, sheet.sigma, theta=0.6)
+    )
+    u0 = ps.state()
+    for _ in range(2):
+        fine.rhs(0.0, u0)
+        coarse.rhs(0.0, u0)
+    ratio = fine.evaluator.mean_cost / coarse.evaluator.mean_cost
+    alpha = (2.0 / 3.0) / ratio
+
+    def serial(comm):
+        SDCStepper(fine, num_nodes=3, sweeps=4).run(
+            u0, 0.0, args.steps * 0.5, 0.5
+        )
+        yield comm.work(0.0)
+
+    sched = Scheduler(1, measure_compute=True)
+    sched.run(serial)
+    base = sched.makespan
+    print(f"alpha = {alpha:.3f} (cost ratio {ratio:.2f}); "
+          f"serial SDC(4): {base:.2f}s")
+    print(f"{'P_T':>4} {'speedup':>8} {'theory':>7}")
+    for p_t in args.p_times:
+        if args.steps % p_t:
+            continue
+        cfg = PfasstConfig(t0=0.0, t_end=args.steps * 0.5,
+                           n_steps=args.steps, iterations=2)
+        specs = [LevelSpec(fine, 3, 1), LevelSpec(coarse, 2, 2)]
+        res = run_pfasst(cfg, specs, u0, p_time=p_t,
+                         cost_model=CommCostModel(), measure_compute=True)
+        theory = float(speedup_two_level(p_t, alpha, 4, 2, 2))
+        print(f"{p_t:>4} {base / res.makespan:>8.2f} {theory:>7.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "sheet":
+        return _cmd_sheet(args)
+    if args.command == "speedup":
+        return _cmd_speedup(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

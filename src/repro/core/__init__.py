@@ -1,0 +1,12 @@
+"""Core facade: solver configuration and the `SpaceTimeSolver` entry point."""
+
+from repro.core.config import SolverConfig, SpaceConfig, TimeConfig
+from repro.core.solver import SpaceTimeSolver, RunResult
+
+__all__ = [
+    "SolverConfig",
+    "SpaceConfig",
+    "TimeConfig",
+    "SpaceTimeSolver",
+    "RunResult",
+]

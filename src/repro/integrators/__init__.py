@@ -1,0 +1,27 @@
+"""Time-serial baseline integrators (explicit Runge-Kutta family)."""
+
+from repro.integrators.runge_kutta import (
+    ButcherTableau,
+    RungeKutta,
+    forward_euler,
+    rk2_midpoint,
+    rk2_heun,
+    rk3_ssp,
+    rk4_classic,
+    get_integrator,
+    available_integrators,
+    integrate,
+)
+
+__all__ = [
+    "ButcherTableau",
+    "RungeKutta",
+    "forward_euler",
+    "rk2_midpoint",
+    "rk2_heun",
+    "rk3_ssp",
+    "rk4_classic",
+    "get_integrator",
+    "available_integrators",
+    "integrate",
+]

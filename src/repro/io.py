@@ -1,0 +1,83 @@
+"""Checkpoint I/O for particle states and run metadata.
+
+Long vortex-method runs (and the paper-scale benchmark configurations)
+need restartable state.  Particle systems are stored as compressed ``.npz``
+archives with a format version; run summaries as plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.vortex.particles import ParticleSystem
+
+__all__ = ["save_particles", "load_particles", "save_run_summary",
+           "load_run_summary"]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_particles(
+    path: PathLike, ps: ParticleSystem, time: float = 0.0,
+    metadata: Dict[str, Any] | None = None,
+) -> pathlib.Path:
+    """Write a particle system (and simulation time) to ``path`` (.npz)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        time=np.float64(time),
+        positions=ps.positions,
+        vorticity=ps.vorticity,
+        volumes=ps.volumes,
+        metadata=json.dumps(metadata or {}),
+    )
+    return path
+
+
+def load_particles(path: PathLike) -> tuple[ParticleSystem, float, Dict[str, Any]]:
+    """Read a particle checkpoint; returns ``(system, time, metadata)``."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version > _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint {path} has format version {version}; "
+                f"this build reads up to {_FORMAT_VERSION}"
+            )
+        ps = ParticleSystem(
+            data["positions"].copy(),
+            data["vorticity"].copy(),
+            data["volumes"].copy(),
+        )
+        time = float(data["time"])
+        metadata = json.loads(str(data["metadata"]))
+    return ps, time, metadata
+
+
+def save_run_summary(path: PathLike, summary: Dict[str, Any]) -> pathlib.Path:
+    """Write a JSON run summary (numpy scalars are converted)."""
+    path = pathlib.Path(path)
+
+    def convert(obj: Any) -> Any:
+        if isinstance(obj, (np.floating, np.integer)):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"cannot serialise {type(obj)!r}")
+
+    path.write_text(json.dumps(summary, indent=2, default=convert,
+                               sort_keys=True))
+    return path
+
+
+def load_run_summary(path: PathLike) -> Dict[str, Any]:
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,0 +1,5 @@
+"""Direct N-body reference solvers (Coulomb / gravity / vortex)."""
+
+from repro.nbody.direct import coulomb_direct, gravity_direct
+
+__all__ = ["coulomb_direct", "gravity_direct"]

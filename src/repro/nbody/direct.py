@@ -1,0 +1,92 @@
+"""Direct O(N^2) summation solvers for scalar-charge N-body systems.
+
+PEPC began life as a Coulomb/gravity solver; these reference
+implementations provide exact results for validating the tree code and for
+the small-ensemble accuracy studies (paper Sec. IV-A uses a direct solver
+to eliminate spatial error).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tree.profiles import potential_profile, radial_chain
+from repro.utils.chunking import chunk_pairs_budget, chunk_ranges
+from repro.utils.validation import check_array, check_positive
+from repro.vortex.kernels import SingularKernel, SmoothingKernel
+
+__all__ = ["coulomb_direct", "gravity_direct"]
+
+
+def coulomb_direct(
+    targets: np.ndarray,
+    sources: np.ndarray,
+    charges: np.ndarray,
+    kernel: Optional[SmoothingKernel] = None,
+    sigma: float = 1.0,
+    chunk: Optional[int] = None,
+    exclude_zero: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Potential and field of scalar charges by direct summation.
+
+    ``phi(x) = sum_p q_p G(|x - x_p|)`` with ``G -> 1/(4 pi r)``;
+    ``E = -grad phi``.  The kernel defaults to the unsoftened singular
+    kernel; any algebraic kernel gives a regularised (Plummer-like) system.
+
+    Returns ``(phi (M,), E (M, 3))``.
+    """
+    targets = check_array("targets", targets, shape=(None, 3), dtype=np.float64)
+    sources = check_array("sources", sources, shape=(None, 3), dtype=np.float64)
+    charges = check_array(
+        "charges", charges, shape=(sources.shape[0],), dtype=np.float64
+    )
+    kernel = kernel or SingularKernel()
+    check_positive("sigma", sigma)
+    m, n = targets.shape[0], sources.shape[0]
+    phi = np.zeros(m)
+    field = np.zeros((m, 3))
+    if m == 0 or n == 0:
+        return phi, field
+    if chunk is None:
+        chunk = chunk_pairs_budget(n)
+    for lo, hi in chunk_ranges(m, chunk):
+        r = targets[lo:hi, None, :] - sources[None, :, :]
+        r2 = np.einsum("tsk,tsk->ts", r, r)
+        if exclude_zero:
+            zero = r2 == 0.0
+            r2 = np.where(zero, 1.0, r2)
+        d0 = potential_profile(kernel, r2, sigma)
+        (d1,) = radial_chain(kernel, r2, sigma, 1)
+        if exclude_zero:
+            d0 = np.where(zero, 0.0, d0)
+            d1 = np.where(zero, 0.0, d1)
+        phi[lo:hi] = d0 @ charges
+        # E = -sum q D1 r
+        field[lo:hi] = -np.einsum("ts,s,tsk->tk", d1, charges, r)
+    return phi, field
+
+
+def gravity_direct(
+    targets: np.ndarray,
+    sources: np.ndarray,
+    masses: np.ndarray,
+    g_constant: float = 1.0,
+    softening: float = 0.0,
+    chunk: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Newtonian potential and acceleration (attractive convention).
+
+    ``phi = -G sum m / r`` (note: *not* divided by 4 pi — the customary
+    gravitational convention), ``a = -grad phi``.
+    """
+    kernel = SingularKernel(softening=softening)
+    phi, field = coulomb_direct(
+        targets, sources, np.asarray(masses, dtype=np.float64),
+        kernel=kernel, sigma=1.0, chunk=chunk,
+    )
+    scale = 4.0 * np.pi * g_constant
+    # Coulomb phi = +sum q/(4 pi r) is repulsive; gravity attracts:
+    # phi_grav = -G sum m / r, a = -grad phi_grav = -(4 pi G) E_coulomb
+    return -scale * phi, -scale * field

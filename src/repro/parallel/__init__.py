@@ -1,0 +1,39 @@
+"""Deterministic simulated MPI: scheduler, collectives, process topology."""
+
+from repro.parallel.simmpi import (
+    CommCostModel,
+    Scheduler,
+    VirtualComm,
+    Send,
+    Recv,
+    Work,
+    DeadlockError,
+    payload_bytes,
+)
+from repro.parallel.collectives import (
+    bcast,
+    reduce,
+    allreduce,
+    gather,
+    scatter,
+    barrier,
+)
+from repro.parallel.topology import SpaceTimeGrid
+
+__all__ = [
+    "CommCostModel",
+    "Scheduler",
+    "VirtualComm",
+    "Send",
+    "Recv",
+    "Work",
+    "DeadlockError",
+    "payload_bytes",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "barrier",
+    "SpaceTimeGrid",
+]

@@ -1,0 +1,148 @@
+"""Collective operations for simulated-MPI rank programs.
+
+Implemented on top of point-to-point messages with binomial-tree schedules,
+so their virtual-time cost scales like ``O(log P)`` — matching how real MPI
+implementations behave on the machines the paper targets.
+
+All helpers are generator functions used with ``yield from`` inside a rank
+program::
+
+    value = yield from bcast(comm, value, root=0)
+    total = yield from allreduce(comm, my_part, op=operator.add)
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.parallel.simmpi import VirtualComm
+
+__all__ = ["bcast", "reduce", "allreduce", "gather", "scatter", "barrier"]
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _arank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast(
+    comm: VirtualComm, value: Any, root: int = 0, tag: str = "_bcast"
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return value
+    me = _vrank(rank, root, size)
+    mask = 1
+    # find the bit at which this rank receives
+    while mask < size:
+        if me & mask:
+            value = yield comm.recv(_arank(me - mask, root, size), (tag, mask))
+            break
+        mask <<= 1
+    # forward to higher vranks
+    child_mask = mask >> 1 if me else _highest_bit(size)
+    mask = child_mask
+    while mask >= 1:
+        peer = me + mask
+        if peer < size:
+            yield comm.send(_arank(peer, root, size), (tag, mask), value)
+        mask >>= 1
+    return value
+
+
+def _highest_bit(size: int) -> int:
+    mask = 1
+    while mask < size:
+        mask <<= 1
+    return mask >> 1 if mask >= size else mask
+
+
+def reduce(
+    comm: VirtualComm,
+    value: Any,
+    op: Callable[[Any, Any], Any] = operator.add,
+    root: int = 0,
+    tag: str = "_reduce",
+) -> Generator[Any, Any, Optional[Any]]:
+    """Binomial-tree reduction; only the root returns the combined value."""
+    size, rank = comm.size, comm.rank
+    me = _vrank(rank, root, size)
+    mask = 1
+    while mask < size:
+        if me & mask:
+            yield comm.send(_arank(me - mask, root, size), (tag, mask), value)
+            return None
+        peer = me + mask
+        if peer < size:
+            other = yield comm.recv(_arank(peer, root, size), (tag, mask))
+            value = op(value, other)
+        mask <<= 1
+    return value
+
+
+def allreduce(
+    comm: VirtualComm,
+    value: Any,
+    op: Callable[[Any, Any], Any] = operator.add,
+    tag: Any = "_allreduce",
+) -> Generator[Any, Any, Any]:
+    """Reduce to rank 0, then broadcast the result (cost ~ 2 log P).
+
+    ``tag`` may be any hashable (tuples included); sub-phases derive
+    distinct tags from it.
+    """
+    reduced = yield from reduce(comm, value, op=op, root=0, tag=(tag, "r"))
+    return (yield from bcast(comm, reduced, root=0, tag=(tag, "b")))
+
+
+def gather(
+    comm: VirtualComm, value: Any, root: int = 0, tag: str = "_gather"
+) -> Generator[Any, Any, Optional[List[Any]]]:
+    """Gather one value per rank into a list at the root (flat schedule)."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        out: List[Any] = [None] * size
+        out[root] = value
+        for src in range(size):
+            if src != root:
+                out[src] = yield comm.recv(src, (tag, src))
+        return out
+    yield comm.send(root, (tag, rank), value)
+    return None
+
+
+def scatter(
+    comm: VirtualComm,
+    values: Optional[List[Any]],
+    root: int = 0,
+    tag: str = "_scatter",
+) -> Generator[Any, Any, Any]:
+    """Scatter a list from the root; each rank returns its element."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError(
+                f"root must pass exactly {size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        for dest in range(size):
+            if dest != root:
+                yield comm.send(dest, (tag, dest), values[dest])
+        return values[root]
+    return (yield from (_recv_one(comm, root, (tag, rank))))
+
+
+def _recv_one(comm: VirtualComm, src: int, tag: Any) -> Generator[Any, Any, Any]:
+    value = yield comm.recv(src, tag)
+    return value
+
+
+def barrier(comm: VirtualComm, tag: str = "_barrier") -> Generator[Any, Any, None]:
+    """Synchronise all ranks (allreduce of a token)."""
+    yield from allreduce(comm, 0, tag=tag)
+    return None

@@ -1,0 +1,67 @@
+"""Space-time process topology (paper Fig. 2).
+
+A run with ``P_T`` time slices and ``P_S`` spatial ranks per slice uses a
+``P_T x P_S`` grid of processes.  Each process belongs to exactly two
+communicators: a *space* communicator (one PEPC instance, row of the grid)
+and a *time* communicator (the i-th member of every PEPC instance, column
+of the grid).  These helpers map between world ranks and grid coordinates
+and enumerate the communicator memberships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["SpaceTimeGrid"]
+
+
+@dataclass(frozen=True)
+class SpaceTimeGrid:
+    """Cartesian decomposition of world ranks into (time, space) coords.
+
+    World rank layout is time-major: rank ``r`` has time slice
+    ``r // p_space`` and spatial index ``r % p_space``, matching the paper's
+    "duplicate the PEPC structure P_T times" construction.
+    """
+
+    p_time: int
+    p_space: int
+
+    def __post_init__(self) -> None:
+        if self.p_time < 1 or self.p_space < 1:
+            raise ValueError(
+                f"grid extents must be >= 1, got ({self.p_time}, {self.p_space})"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.p_time * self.p_space
+
+    def coords(self, world_rank: int) -> Tuple[int, int]:
+        """Return ``(time_slice, space_index)`` of a world rank."""
+        self._check(world_rank)
+        return divmod(world_rank, self.p_space)
+
+    def world_rank(self, time_slice: int, space_index: int) -> int:
+        if not 0 <= time_slice < self.p_time:
+            raise ValueError(f"time_slice {time_slice} out of range")
+        if not 0 <= space_index < self.p_space:
+            raise ValueError(f"space_index {space_index} out of range")
+        return time_slice * self.p_space + space_index
+
+    def space_comm(self, world_rank: int) -> List[int]:
+        """World ranks sharing this rank's PEPC (space) communicator."""
+        t, _ = self.coords(world_rank)
+        return [self.world_rank(t, s) for s in range(self.p_space)]
+
+    def time_comm(self, world_rank: int) -> List[int]:
+        """World ranks sharing this rank's PFASST (time) communicator."""
+        _, s = self.coords(world_rank)
+        return [self.world_rank(t, s) for t in range(self.p_time)]
+
+    def _check(self, world_rank: int) -> None:
+        if not 0 <= world_rank < self.world_size:
+            raise ValueError(
+                f"world rank {world_rank} out of range 0..{self.world_size - 1}"
+            )

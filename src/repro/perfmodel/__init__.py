@@ -1,0 +1,17 @@
+"""Calibrated analytic performance models (Blue Gene/P scaling, Fig. 5)."""
+
+from repro.perfmodel.machine import MachineModel, JUGENE, PYTHON_LAPTOP
+from repro.perfmodel.pepc_model import (
+    PepcScalingModel,
+    ScalingPoint,
+    calibrate_interactions,
+)
+
+__all__ = [
+    "MachineModel",
+    "JUGENE",
+    "PYTHON_LAPTOP",
+    "PepcScalingModel",
+    "ScalingPoint",
+    "calibrate_interactions",
+]

@@ -1,0 +1,60 @@
+"""Machine descriptions for the analytic performance model.
+
+The paper's runs were on JUGENE, the IBM Blue Gene/P at Juelich
+Supercomputing Centre: 73,728 compute nodes x 4 PowerPC 450 cores at
+850 MHz (294,912 cores), 3D-torus interconnect with ~375 MB/s per link and
+MPI latencies of a few microseconds.  The numbers below are public
+figures; they set the absolute scale of modelled runtimes, while the
+*shape* of the scaling curves comes from calibrated work counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "JUGENE", "PYTHON_LAPTOP"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-core compute rate and interconnect parameters."""
+
+    name: str
+    cores_per_node: int
+    #: sustained floating point rate per core (flop/s) on this workload
+    flops_per_core: float
+    #: MPI point-to-point latency (s)
+    latency: float
+    #: per-link bandwidth (bytes/s)
+    bandwidth: float
+    #: total cores available
+    max_cores: int
+
+    def interaction_time(self, flops_per_interaction: float = 60.0) -> float:
+        """Seconds per particle-cluster interaction."""
+        return flops_per_interaction / self.flops_per_core
+
+    def transfer_time(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+#: IBM Blue Gene/P installation at JSC (the paper's machine)
+JUGENE = MachineModel(
+    name="JUGENE (IBM Blue Gene/P)",
+    cores_per_node=4,
+    # PPC450 @ 850 MHz, dual FPU: 3.4 GF peak; ~20% sustained on tree walks
+    flops_per_core=0.68e9,
+    latency=3.5e-6,
+    bandwidth=375e6,
+    max_cores=294_912,
+)
+
+#: a single-core NumPy environment (for sanity-scaling of measured runs)
+PYTHON_LAPTOP = MachineModel(
+    name="single-core NumPy",
+    cores_per_node=1,
+    flops_per_core=0.15e9,  # effective rate of the vectorised tree walk
+    latency=1e-6,
+    bandwidth=10e9,
+    max_cores=1,
+)

@@ -1,0 +1,66 @@
+"""PFASST: parallel full approximation scheme in space and time."""
+
+from repro.pfasst.level import Level, LevelSpec
+from repro.pfasst.transfer import (
+    TimeSpaceTransfer,
+    SpatialTransfer,
+    IdentitySpatialTransfer,
+)
+from repro.pfasst.fas import fas_correction
+from repro.pfasst.controller import (
+    PfasstConfig,
+    PfasstResult,
+    run_pfasst,
+    pfasst_rank_program,
+)
+from repro.pfasst.parareal import (
+    PararealConfig,
+    PararealResult,
+    parareal_serial,
+    run_parareal,
+)
+from repro.pfasst.theory import (
+    PfasstCostModel,
+    speedup_two_level,
+    efficiency_two_level,
+    speedup_bound,
+    parareal_speedup,
+    alpha_from_measurements,
+    multi_level_speedup,
+)
+from repro.pfasst.analysis import (
+    rk_stability,
+    sdc_stability,
+    sdc_sweep_matrices,
+    parareal_error_matrix,
+    parareal_convergence_factor,
+)
+
+__all__ = [
+    "Level",
+    "LevelSpec",
+    "TimeSpaceTransfer",
+    "SpatialTransfer",
+    "IdentitySpatialTransfer",
+    "fas_correction",
+    "PfasstConfig",
+    "PfasstResult",
+    "run_pfasst",
+    "pfasst_rank_program",
+    "PararealConfig",
+    "PararealResult",
+    "parareal_serial",
+    "run_parareal",
+    "PfasstCostModel",
+    "speedup_two_level",
+    "efficiency_two_level",
+    "speedup_bound",
+    "parareal_speedup",
+    "alpha_from_measurements",
+    "multi_level_speedup",
+    "rk_stability",
+    "sdc_stability",
+    "sdc_sweep_matrices",
+    "parareal_error_matrix",
+    "parareal_convergence_factor",
+]

@@ -1,0 +1,126 @@
+"""Linear stability and convergence analysis for the time integrators.
+
+Complements the runtime experiments with the classical linear theory on
+the Dahlquist test equation ``u' = z u``:
+
+* stability functions ``R(z)`` of the explicit RK baselines (via the
+  Butcher formula) and of explicit SDC sweeps (via the exact matrix form
+  of the node-to-node sweep);
+* the parareal error-propagation matrix and its convergence factor
+  (Gander & Vandewalle 2007): parareal's iteration error satisfies
+  ``e^{k+1} = E e^k`` with a strictly lower-triangular Toeplitz ``E``
+  built from the fine and coarse stability values.
+
+These quantities back the paper's framing: SDC(k) reproduces ``exp(z)``
+to order k, and the parareal/PFASST iteration converges fast when the
+coarse propagator tracks the fine one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.integrators.runge_kutta import ButcherTableau
+from repro.sdc.quadrature import make_rule
+
+__all__ = [
+    "rk_stability",
+    "sdc_stability",
+    "sdc_sweep_matrices",
+    "parareal_error_matrix",
+    "parareal_convergence_factor",
+]
+
+
+def rk_stability(tableau: ButcherTableau, z: complex | np.ndarray) -> np.ndarray:
+    """Stability function ``R(z) = 1 + z b^T (I - z A)^{-1} 1``."""
+    z = np.asarray(z, dtype=complex)
+    a = np.array(tableau.a, dtype=float)
+    b = np.array(tableau.b, dtype=float)
+    s = b.size
+    out = np.empty(z.shape, dtype=complex)
+    ones = np.ones(s)
+    identity = np.eye(s)
+    for idx in np.ndindex(z.shape):
+        m = identity - z[idx] * a
+        out[idx] = 1.0 + z[idx] * (b @ np.linalg.solve(m, ones))
+    return out if out.shape else out[()]
+
+
+def sdc_sweep_matrices(
+    num_nodes: int, z: complex, node_type: str = "lobatto"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Matrices ``(M_new, M_old, e0)`` of one explicit SDC sweep.
+
+    For ``u' = z u`` the node-to-node sweep (Eq. 13 with dt = 1) is
+    linear: ``M_new U^{k+1} = M_old U^k + e0 u_0``; this returns the
+    exact matrices so stability functions can be assembled.
+    """
+    rule = make_rule(num_nodes, node_type)
+    m1 = rule.num_nodes
+    delta = rule.delta
+    s_mat = rule.S
+    m_new = np.eye(m1, dtype=complex)
+    m_old = np.zeros((m1, m1), dtype=complex)
+    e0 = np.zeros(m1, dtype=complex)
+    e0[0] = 1.0  # U^{k+1}_0 = u0
+    for m in range(m1 - 1):
+        # U_{m+1} = U_m + z d_m (U^{k+1}_m - U^k_m) + z (S U^k)_{m+1}
+        m_new[m + 1, m + 1] = 1.0
+        m_new[m + 1, m] = -(1.0 + z * delta[m])
+        m_old[m + 1, m] = -z * delta[m]
+        m_old[m + 1, :] += z * s_mat[m + 1, :]
+    return m_new, m_old, e0
+
+
+def sdc_stability(
+    num_nodes: int,
+    sweeps: int,
+    z: complex | np.ndarray,
+    node_type: str = "lobatto",
+) -> np.ndarray:
+    """Stability function of ``sweeps`` explicit SDC sweeps on a spread
+    provisional solution (the ``SDC(K)`` scheme of the paper)."""
+    z = np.asarray(z, dtype=complex)
+    out = np.empty(z.shape, dtype=complex)
+    for idx in np.ndindex(z.shape):
+        m_new, m_old, e0 = sdc_sweep_matrices(num_nodes, z[idx], node_type)
+        u = np.ones(m_new.shape[0], dtype=complex)  # spread init, u0 = 1
+        for _ in range(sweeps):
+            u = np.linalg.solve(m_new, m_old @ u + e0)
+        out[idx] = u[-1]
+    return out if out.shape else out[()]
+
+
+def parareal_error_matrix(
+    r_fine: complex, r_coarse: complex, n_slices: int
+) -> np.ndarray:
+    """Error-propagation matrix ``E`` of parareal on ``u' = z u``.
+
+    With slice boundary errors ``e_n``, one parareal iteration gives
+    ``e^{k+1}_{n+1} = R_G e^{k+1}_n + (R_F - R_G) e^k_n`` so that
+    ``e^{k+1} = E e^k`` with
+    ``E = (I - R_G L)^{-1} (R_F - R_G) L`` and ``L`` the lower shift.
+    """
+    if n_slices < 1:
+        raise ValueError(f"n_slices must be >= 1, got {n_slices}")
+    shift = np.eye(n_slices, k=-1, dtype=complex)
+    lhs = np.eye(n_slices, dtype=complex) - r_coarse * shift
+    rhs = (r_fine - r_coarse) * shift
+    return np.linalg.solve(lhs, rhs)
+
+
+def parareal_convergence_factor(
+    r_fine: complex, r_coarse: complex, n_slices: int,
+    iterations: int = 1,
+) -> float:
+    """2-norm contraction of ``iterations`` parareal iterations.
+
+    Values below 1 mean the iteration converges; equal coarse and fine
+    propagators give exactly 0 (one-shot convergence).
+    """
+    e = parareal_error_matrix(r_fine, r_coarse, n_slices)
+    power = np.linalg.matrix_power(e, iterations)
+    return float(np.linalg.norm(power, 2))

@@ -1,0 +1,174 @@
+"""Classic parareal (Lions, Maday & Turinici 2001) as a baseline.
+
+Parareal iterates
+
+    U_{n+1}^{k+1} = G(U_n^{k+1}) + F(U_n^k) - G(U_n^k)
+
+with a cheap coarse propagator ``G`` and an accurate fine propagator ``F``
+over ``P_T`` time slices.  Its parallel efficiency is bounded by ``1/K``
+(number of iterations), the bound PFASST relaxes to ``Ks/Kp`` — reproducing
+this contrast is part of the theory benchmark.
+
+Like the PFASST controller, the algorithm is a rank program for the
+simulated MPI scheduler, so the same timing machinery applies.  A serial
+reference implementation (`parareal_serial`) is provided for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
+
+__all__ = [
+    "Propagator",
+    "PararealConfig",
+    "PararealResult",
+    "parareal_serial",
+    "run_parareal",
+]
+
+#: propagator signature: (t0, dt, u0) -> u(t0 + dt)
+Propagator = Callable[[float, float, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class PararealConfig:
+    t0: float
+    t_end: float
+    n_slices: int
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.n_slices < 1:
+            raise ValueError(f"n_slices must be >= 1, got {self.n_slices}")
+        if self.iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {self.iterations}")
+        if not self.t_end > self.t0:
+            raise ValueError("t_end must be > t0")
+
+    @property
+    def dt(self) -> float:
+        return (self.t_end - self.t0) / self.n_slices
+
+
+@dataclass
+class PararealResult:
+    u_end: np.ndarray
+    slice_values: List[np.ndarray]  # boundary values U_0..U_N (final iterate)
+    increments: List[float]  # max update norm per iteration
+    clocks: List[float]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.clocks) if self.clocks else 0.0
+
+
+def parareal_serial(
+    config: PararealConfig,
+    coarse: Propagator,
+    fine: Propagator,
+    u0: np.ndarray,
+) -> PararealResult:
+    """Reference serial implementation (identical numerics, no pipeline)."""
+    n, dt = config.n_slices, config.dt
+    times = [config.t0 + i * dt for i in range(n)]
+    u = [np.asarray(u0, dtype=np.float64)]
+    for i in range(n):
+        u.append(coarse(times[i], dt, u[i]))
+    increments: List[float] = []
+    g_old = [None] + [u[i + 1].copy() for i in range(n)]
+    for _ in range(config.iterations):
+        f_old = [fine(times[i], dt, u[i]) for i in range(n)]
+        u_new = [u[0]]
+        inc = 0.0
+        g_new: List[Optional[np.ndarray]] = [None] * (n + 1)
+        for i in range(n):
+            g = coarse(times[i], dt, u_new[i])
+            g_new[i + 1] = g
+            value = g + f_old[i] - g_old[i + 1]
+            inc = max(inc, float(np.max(np.abs(value - u[i + 1]))))
+            u_new.append(value)
+        u = u_new
+        g_old = g_new
+        increments.append(inc)
+    return PararealResult(
+        u_end=u[-1], slice_values=u, increments=increments, clocks=[]
+    )
+
+
+def _parareal_rank_program(
+    comm: VirtualComm,
+    config: PararealConfig,
+    coarse: Propagator,
+    fine: Propagator,
+    u0: np.ndarray,
+) -> Generator[Any, Any, Dict[str, Any]]:
+    """Pipelined parareal on one rank (one slice per rank)."""
+    rank, size = comm.rank, comm.size
+    if size != config.n_slices:
+        raise ValueError(
+            f"parareal needs one rank per slice: {size} != {config.n_slices}"
+        )
+    dt = config.dt
+    t_n = config.t0 + rank * dt
+    u0 = np.asarray(u0, dtype=np.float64)
+
+    # serial coarse prediction, pipelined
+    if rank == 0:
+        u_left = u0
+    else:
+        u_left = yield comm.recv(rank - 1, ("init", rank - 1))
+    g_old = coarse(t_n, dt, u_left)
+    if rank < size - 1:
+        yield comm.send(rank + 1, ("init", rank), g_old)
+
+    value = g_old
+    increments: List[float] = []
+    for k in range(config.iterations):
+        f_val = fine(t_n, dt, u_left)
+        if rank > 0:
+            u_left = yield comm.recv(rank - 1, ("iter", k))
+        g_new = coarse(t_n, dt, u_left)
+        new_value = g_new + f_val - g_old
+        increments.append(float(np.max(np.abs(new_value - value))))
+        value = new_value
+        g_old = g_new
+        if rank < size - 1:
+            yield comm.send(rank + 1, ("iter", k), value)
+    return {
+        "rank": rank,
+        "end_value": value,
+        "increments": increments,
+    }
+
+
+def run_parareal(
+    config: PararealConfig,
+    coarse: Propagator,
+    fine: Propagator,
+    u0: np.ndarray,
+    cost_model: Optional[CommCostModel] = None,
+    measure_compute: bool = False,
+) -> PararealResult:
+    """Execute pipelined parareal under the simulated MPI scheduler."""
+    scheduler = Scheduler(
+        config.n_slices, cost_model=cost_model, measure_compute=measure_compute
+    )
+    results = scheduler.run(
+        _parareal_rank_program, args=(config, coarse, fine, np.asarray(u0))
+    )
+    by_rank = sorted(results, key=lambda r: r["rank"])
+    increments = [
+        max(r["increments"][k] for r in by_rank)
+        for k in range(config.iterations)
+    ]
+    return PararealResult(
+        u_end=by_rank[-1]["end_value"],
+        slice_values=[np.asarray(u0)] + [r["end_value"] for r in by_rank],
+        increments=increments,
+        clocks=list(scheduler.clocks),
+    )

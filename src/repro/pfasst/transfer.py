@@ -1,0 +1,97 @@
+"""Transfer operators between PFASST levels.
+
+Time direction: node values live on collocation nodes; restriction and
+interpolation are Lagrange evaluation matrices between the two node sets
+(exact injection when the coarse nodes are a subset of the fine ones, the
+paper's recommended choice).
+
+Space direction: the paper's particle coarsening keeps the *same particle
+set* on every level and changes only the multipole acceptance parameter of
+the RHS evaluator, so the spatial transfer is the identity.  The
+:class:`SpatialTransfer` hook still exists so grid-based problems (or
+future particle-subset coarsening, Sec. V outlook) can plug in genuine
+restriction/prolongation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.sdc.quadrature import QuadratureRule, lagrange_interpolation_matrix
+
+__all__ = ["SpatialTransfer", "IdentitySpatialTransfer", "TimeSpaceTransfer"]
+
+
+class SpatialTransfer(Protocol):
+    """Restriction/prolongation acting on a single state vector."""
+
+    def restrict(self, u_fine: np.ndarray) -> np.ndarray: ...
+
+    def interpolate(self, u_coarse: np.ndarray) -> np.ndarray: ...
+
+
+class IdentitySpatialTransfer:
+    """No-op spatial transfer (the paper's particle-coarsening setting)."""
+
+    def restrict(self, u_fine: np.ndarray) -> np.ndarray:
+        return u_fine
+
+    def interpolate(self, u_coarse: np.ndarray) -> np.ndarray:
+        return u_coarse
+
+
+class TimeSpaceTransfer:
+    """Couples a fine and a coarse quadrature rule (one level interface).
+
+    Attributes
+    ----------
+    R_time : (Mc+1, Mf+1)
+        Evaluates the fine nodal interpolant at the coarse nodes
+        (restriction; exact injection for nested nodes).
+    P_time : (Mf+1, Mc+1)
+        Evaluates the coarse nodal interpolant at the fine nodes
+        (interpolation).
+    """
+
+    def __init__(
+        self,
+        fine_rule: QuadratureRule,
+        coarse_rule: QuadratureRule,
+        spatial: SpatialTransfer | None = None,
+    ) -> None:
+        self.fine_rule = fine_rule
+        self.coarse_rule = coarse_rule
+        self.spatial: SpatialTransfer = spatial or IdentitySpatialTransfer()
+        self.R_time = lagrange_interpolation_matrix(
+            fine_rule.nodes, coarse_rule.nodes
+        )
+        self.P_time = lagrange_interpolation_matrix(
+            coarse_rule.nodes, fine_rule.nodes
+        )
+
+    # -- node arrays: shape (M+1, *state) -----------------------------
+    def _apply_time(self, mat: np.ndarray, values: np.ndarray) -> np.ndarray:
+        return np.tensordot(mat, values, axes=(1, 0))
+
+    def restrict_nodes(self, values_fine: np.ndarray) -> np.ndarray:
+        """Restrict node values fine -> coarse (time then space)."""
+        coarse_time = self._apply_time(self.R_time, values_fine)
+        return np.stack(
+            [self.spatial.restrict(v) for v in coarse_time], axis=0
+        )
+
+    def interpolate_nodes(self, values_coarse: np.ndarray) -> np.ndarray:
+        """Interpolate node values coarse -> fine (space then time)."""
+        fine_space = np.stack(
+            [self.spatial.interpolate(v) for v in values_coarse], axis=0
+        )
+        return self._apply_time(self.P_time, fine_space)
+
+    # -- single states (e.g. initial values at node 0) ----------------
+    def restrict_state(self, u_fine: np.ndarray) -> np.ndarray:
+        return self.spatial.restrict(u_fine)
+
+    def interpolate_state(self, u_coarse: np.ndarray) -> np.ndarray:
+        return self.spatial.interpolate(u_coarse)

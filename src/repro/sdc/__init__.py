@@ -1,0 +1,36 @@
+"""Spectral deferred corrections: nodes, quadrature, sweeps, serial stepper."""
+
+from repro.sdc.nodes import NodeSet, collocation_nodes, available_node_types
+from repro.sdc.quadrature import (
+    QuadratureRule,
+    make_rule,
+    barycentric_weights,
+    lagrange_interpolation_matrix,
+    lagrange_integration_weights,
+)
+from repro.sdc.sweeper import ExplicitSDCSweeper
+from repro.sdc.sdc_stepper import SDCStepper, SDCRunStats
+from repro.sdc.imex import (
+    SplitODEProblem,
+    SplitDahlquist,
+    IMEXSDCSweeper,
+    IMEXSDCStepper,
+)
+
+__all__ = [
+    "NodeSet",
+    "collocation_nodes",
+    "available_node_types",
+    "QuadratureRule",
+    "make_rule",
+    "barycentric_weights",
+    "lagrange_interpolation_matrix",
+    "lagrange_integration_weights",
+    "ExplicitSDCSweeper",
+    "SDCStepper",
+    "SDCRunStats",
+    "SplitODEProblem",
+    "SplitDahlquist",
+    "IMEXSDCSweeper",
+    "IMEXSDCStepper",
+]

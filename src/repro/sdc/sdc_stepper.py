@@ -1,0 +1,115 @@
+"""Time-serial SDC integration (the paper's ``SDC(K)`` baseline).
+
+``SDC(K)`` performs ``K`` correction sweeps per time step on top of a
+spread provisional solution; with a first-order corrector the result is
+formally ``O(dt^K)`` accurate (bounded by the quadrature order).  This is
+the serial reference against which PFASST speedup is measured (Eq. 21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.sdc.quadrature import QuadratureRule, make_rule
+from repro.sdc.sweeper import ExplicitSDCSweeper, InitStrategy
+from repro.utils.validation import check_positive
+from repro.vortex.problem import ODEProblem
+
+__all__ = ["SDCStepper", "SDCRunStats"]
+
+
+@dataclass
+class SDCRunStats:
+    """Aggregate statistics of an SDC integration run."""
+
+    steps: int = 0
+    sweeps: int = 0
+    residuals: List[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+
+class SDCStepper:
+    """Serial SDC time stepper.
+
+    Parameters
+    ----------
+    problem :
+        The initial value problem.
+    num_nodes :
+        Number of collocation nodes per step (paper: 3 Gauss-Lobatto).
+    sweeps :
+        Correction sweeps per step (``K`` in ``SDC(K)``).
+    node_type :
+        Collocation family (default ``"lobatto"``).
+    residual_tol :
+        Optional early exit: stop sweeping once the collocation residual
+        falls below this tolerance.
+    """
+
+    def __init__(
+        self,
+        problem: ODEProblem,
+        num_nodes: int = 3,
+        sweeps: int = 4,
+        node_type: str = "lobatto",
+        residual_tol: Optional[float] = None,
+        init_strategy: InitStrategy = "spread",
+    ) -> None:
+        if sweeps < 1:
+            raise ValueError(f"need at least 1 sweep, got {sweeps}")
+        self.problem = problem
+        self.rule: QuadratureRule = make_rule(num_nodes, node_type)
+        self.sweeper = ExplicitSDCSweeper(problem, self.rule)
+        self.sweeps = int(sweeps)
+        self.residual_tol = residual_tol
+        self.init_strategy: InitStrategy = init_strategy
+        self.stats = SDCRunStats()
+
+    def step(self, t0: float, dt: float, u0: np.ndarray) -> np.ndarray:
+        """Advance one time step ``[t0, t0 + dt]``."""
+        U, F = self.sweeper.initialize(t0, dt, u0, self.init_strategy)
+        residual = float("inf")
+        for _ in range(self.sweeps):
+            U, F = self.sweeper.sweep(t0, dt, U, F)
+            self.stats.sweeps += 1
+            if self.residual_tol is not None:
+                residual = self.sweeper.residual(dt, U, F, u0)
+                if residual <= self.residual_tol:
+                    break
+        if self.residual_tol is None:
+            residual = self.sweeper.residual(dt, U, F, u0)
+        self.stats.steps += 1
+        self.stats.residuals.append(residual)
+        return self.sweeper.end_value(dt, U, F, u0)
+
+    def run(
+        self,
+        u0: np.ndarray,
+        t0: float,
+        t_end: float,
+        dt: float,
+        callback: Optional[Callable[[float, np.ndarray], None]] = None,
+    ) -> np.ndarray:
+        """Integrate over ``[t0, t_end]`` with uniform steps of size ``dt``."""
+        check_positive("dt", dt)
+        span = t_end - t0
+        n_steps = int(round(span / dt))
+        if n_steps < 0 or abs(n_steps * dt - span) > 1e-9 * max(1.0, abs(span)):
+            raise ValueError(
+                f"interval length {span} is not an integer multiple of dt={dt}"
+            )
+        u = np.asarray(u0, dtype=np.float64).copy()
+        if callback is not None:
+            callback(t0, u)
+        for k in range(n_steps):
+            t = t0 + k * dt
+            u = self.step(t, dt, u)
+            if callback is not None:
+                callback(t + dt, u)
+        return u

@@ -1,0 +1,75 @@
+"""Barnes-Hut tree code ("PEPC"): oct-tree, multipoles, MAC, traversal."""
+
+from repro.tree.morton import (
+    MAX_DEPTH,
+    BoundingCube,
+    morton_encode,
+    morton_decode,
+    hilbert_encode,
+    quantize,
+    key_at_level,
+    child_index,
+    cell_of_key,
+)
+from repro.tree.build import Octree, build_octree
+from repro.tree.multipole import (
+    VortexMoments,
+    CoulombMoments,
+    compute_vortex_moments,
+    compute_coulomb_moments,
+)
+from repro.tree.profiles import (
+    RationalProfile,
+    radial_chain,
+    potential_profile,
+    supports_multipoles,
+)
+from repro.tree.mac import MACVariant, mac_accept
+from repro.tree.traversal import InteractionLists, dual_traversal
+from repro.tree.evaluate import evaluate_vortex_far, evaluate_coulomb_far
+from repro.tree.evaluator import TreeStats, TreeEvaluator, TreeCoulombSolver
+from repro.tree.multirate import MultirateTreeEvaluator
+from repro.tree.domain import (
+    DomainDecomposition,
+    sfc_partition,
+    cover_key_range,
+    branch_counts,
+    partition_box_surface,
+)
+
+__all__ = [
+    "MAX_DEPTH",
+    "BoundingCube",
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "quantize",
+    "key_at_level",
+    "child_index",
+    "cell_of_key",
+    "Octree",
+    "build_octree",
+    "VortexMoments",
+    "CoulombMoments",
+    "compute_vortex_moments",
+    "compute_coulomb_moments",
+    "RationalProfile",
+    "radial_chain",
+    "potential_profile",
+    "supports_multipoles",
+    "MACVariant",
+    "mac_accept",
+    "InteractionLists",
+    "dual_traversal",
+    "evaluate_vortex_far",
+    "evaluate_coulomb_far",
+    "TreeStats",
+    "TreeEvaluator",
+    "TreeCoulombSolver",
+    "MultirateTreeEvaluator",
+    "DomainDecomposition",
+    "sfc_partition",
+    "cover_key_range",
+    "branch_counts",
+    "partition_box_surface",
+]

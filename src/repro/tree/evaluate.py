@@ -1,0 +1,236 @@
+"""Far-field (multipole) evaluation of cluster interactions.
+
+Implements the curl of the expanded vector streamfunction for vortex
+clusters — velocity and velocity gradient through quadrupole order — and
+the expanded potential/field for Coulomb clusters.  All formulas reduce the
+derivative tensors of the radially symmetric Green's function to the radial
+chain ``D1..D4`` (see :mod:`repro.tree.profiles`), contracted analytically
+so no rank-4 tensors are ever materialised per pair:
+
+    u      = D1 (r x M0)
+             - D2 (r x w) - D1 vec(M1)                        [dipole]
+             + D3 (r x v) + 2 D2 vec(m) + D2 (r x tr)         [quadrupole]
+
+    du/dx  = D2 (r x M0) r^T + D1 E(M0)
+             - D3 (r x w) r^T - D2 [vec(M1) r^T + E(w) + r X M1]
+             + D4 (r x v) r^T
+             + D3 [2 vec(m) r^T + E(v) + (r x tr) r^T + 2 (r X m)]
+             + D2 [2 vec2(M2) + E(tr)]
+
+with ``r = target - center``, ``w = M1 r``, ``m_cb = M2_cbk r_k``,
+``v = m r``, ``tr_c = M2_cjj``, ``vec(B)_a = eps_abc B_cb``,
+``E(x)_ad = eps_adm x_m`` and ``(r X B)_ad = eps_abc r_b B_cd``.
+Verified in the tests against direct summation (a point cluster matches
+*exactly*; extended clusters converge with distance and order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tree.profiles import radial_chain
+from repro.vortex.kernels import SmoothingKernel
+
+__all__ = ["evaluate_vortex_far", "evaluate_coulomb_far"]
+
+
+def _vec_antisym(mat: np.ndarray) -> np.ndarray:
+    """``vec(B)_a = eps_abc B_cb`` for arrays (..., 3, 3) -> (..., 3)."""
+    return np.stack(
+        [
+            mat[..., 2, 1] - mat[..., 1, 2],
+            mat[..., 0, 2] - mat[..., 2, 0],
+            mat[..., 1, 0] - mat[..., 0, 1],
+        ],
+        axis=-1,
+    )
+
+
+def _eps_matrix(vec: np.ndarray) -> np.ndarray:
+    """``E(x)_ad = eps_adm x_m`` for arrays (..., 3) -> (..., 3, 3)."""
+    out = np.zeros(vec.shape[:-1] + (3, 3), dtype=np.float64)
+    out[..., 0, 1] = vec[..., 2]
+    out[..., 0, 2] = -vec[..., 1]
+    out[..., 1, 0] = -vec[..., 2]
+    out[..., 1, 2] = vec[..., 0]
+    out[..., 2, 0] = vec[..., 1]
+    out[..., 2, 1] = -vec[..., 0]
+    return out
+
+
+def _cross_matrix(r: np.ndarray, mat: np.ndarray) -> np.ndarray:
+    """``(r X B)_ad = eps_abc r_b B_cd`` for (..., 3) and (..., 3, 3)."""
+    r1, r2, r3 = r[..., 0], r[..., 1], r[..., 2]
+    out = np.empty(mat.shape, dtype=np.float64)
+    out[..., 0, :] = (
+        r2[..., None] * mat[..., 2, :] - r3[..., None] * mat[..., 1, :]
+    )
+    out[..., 1, :] = (
+        r3[..., None] * mat[..., 0, :] - r1[..., None] * mat[..., 2, :]
+    )
+    out[..., 2, :] = (
+        r1[..., None] * mat[..., 1, :] - r2[..., None] * mat[..., 0, :]
+    )
+    return out
+
+
+def evaluate_vortex_far(
+    targets: np.ndarray,
+    centers: np.ndarray,
+    m0: np.ndarray,
+    m1: Optional[np.ndarray],
+    m2: Optional[np.ndarray],
+    kernel: SmoothingKernel,
+    sigma: float,
+    order: int = 2,
+    gradient: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Velocity (P, 3) and gradient (P, 3, 3) induced by K clusters.
+
+    ``order``: 0 monopole, 1 +dipole, 2 +quadrupole.  ``m1``/``m2`` may be
+    None for lower orders.
+    """
+    if order not in (0, 1, 2):
+        raise ValueError(f"order must be 0, 1 or 2, got {order}")
+    targets = np.asarray(targets, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    p, k = targets.shape[0], centers.shape[0]
+    velocity = np.zeros((p, 3))
+    grad = np.zeros((p, 3, 3)) if gradient else None
+    if p == 0 or k == 0:
+        return velocity, grad
+
+    r = targets[:, None, :] - centers[None, :, :]  # (P, K, 3)
+    r2 = np.einsum("pki,pki->pk", r, r)
+    # orders needed: velocity uses D1..D(order+1); gradient D1..D(order+2)
+    need = order + (2 if gradient else 1)
+    chain = radial_chain(kernel, r2, sigma, need)
+    d1 = chain[0]
+    d2 = chain[1] if need >= 2 else None
+    d3 = chain[2] if need >= 3 else None
+    d4 = chain[3] if need >= 4 else None
+
+    # ---- monopole -----------------------------------------------------
+    c_m0 = np.cross(r, m0[None, :, :])  # (P, K, 3) = r x M0
+    u = d1[..., None] * c_m0
+    if gradient:
+        g = (
+            np.einsum("pk,pka,pkd->pkad", d2, c_m0, r)
+            + d1[..., None, None] * _eps_matrix(m0)[None]
+        )
+
+    # ---- dipole -------------------------------------------------------
+    if order >= 1:
+        if m1 is None:
+            raise ValueError("order >= 1 requires m1 moments")
+        w = np.einsum("kcj,pkj->pkc", m1, r)
+        vec1 = _vec_antisym(m1)  # (K, 3)
+        c_w = np.cross(r, w)
+        u = u - d2[..., None] * c_w - d1[..., None] * vec1[None]
+        if gradient:
+            g = g - np.einsum("pk,pka,pkd->pkad", d3, c_w, r)
+            g = g - d2[..., None, None] * (
+                np.einsum("ka,pkd->pkad", vec1, r)
+                + _eps_matrix(w)
+                + _cross_matrix(r, np.broadcast_to(m1[None], (p, k, 3, 3)))
+            )
+
+    # ---- quadrupole ---------------------------------------------------
+    if order >= 2:
+        if m2 is None:
+            raise ValueError("order >= 2 requires m2 moments")
+        m = np.einsum("kcbj,pkj->pkcb", m2, r)  # m_cb = M2_cbk r_k
+        v = np.einsum("pkcj,pkj->pkc", m, r)
+        tr = np.einsum("kcjj->kc", m2)  # (K, 3)
+        vecm = _vec_antisym(m)
+        c_v = np.cross(r, v)
+        c_tr = np.cross(r, np.broadcast_to(tr[None], (p, k, 3)))
+        u = u + d3[..., None] * c_v + d2[..., None] * (2.0 * vecm + c_tr)
+        if gradient:
+            vec2 = np.stack(
+                [
+                    m2[:, 2, 1, :] - m2[:, 1, 2, :],
+                    m2[:, 0, 2, :] - m2[:, 2, 0, :],
+                    m2[:, 1, 0, :] - m2[:, 0, 1, :],
+                ],
+                axis=1,
+            )  # (K, 3, 3): vec2_ad = eps_abc M2_cbd
+            g = g + np.einsum("pk,pka,pkd->pkad", d4, c_v, r)
+            g = g + d3[..., None, None] * (
+                2.0 * np.einsum("pka,pkd->pkad", vecm, r)
+                + _eps_matrix(v)
+                + np.einsum("pka,pkd->pkad", c_tr, r)
+                + 2.0 * _cross_matrix(r, m)
+            )
+            g = g + d2[..., None, None] * (
+                2.0 * vec2[None] + _eps_matrix(tr)[None]
+            )
+
+    velocity = u.sum(axis=1)
+    if gradient:
+        grad = g.sum(axis=1)
+    return velocity, grad
+
+
+def evaluate_coulomb_far(
+    targets: np.ndarray,
+    centers: np.ndarray,
+    m0: np.ndarray,
+    m1: Optional[np.ndarray],
+    m2: Optional[np.ndarray],
+    kernel: SmoothingKernel,
+    sigma: float,
+    order: int = 2,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Potential (P,) and field ``E = -grad phi`` (P, 3) of K clusters.
+
+    Uses the same radial chain plus the potential profile D0; the
+    convention is ``phi = sum_p q_p G(|x - x_p|)`` with ``G ~ 1/(4 pi r)``
+    far away.
+    """
+    from repro.tree.profiles import potential_profile
+
+    if order not in (0, 1, 2):
+        raise ValueError(f"order must be 0, 1 or 2, got {order}")
+    targets = np.asarray(targets, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    p, k = targets.shape[0], centers.shape[0]
+    phi = np.zeros(p)
+    field = np.zeros((p, 3))
+    if p == 0 or k == 0:
+        return phi, field
+
+    r = targets[:, None, :] - centers[None, :, :]
+    r2 = np.einsum("pki,pki->pk", r, r)
+    need = order + 1
+    d0 = potential_profile(kernel, r2, sigma)
+    chain = radial_chain(kernel, r2, sigma, need)
+    d1 = chain[0]
+    d2 = chain[1] if need >= 2 else None
+    d3 = chain[2] if need >= 3 else None
+
+    # phi = Q0 T0 - Q1_j T1_j + Q2_jk T2_jk ; E_d = -d(phi)/d(x_d)
+    pot = m0[None, :] * d0
+    e = -np.einsum("pk,k,pkd->pkd", d1, m0, r)
+    if order >= 1:
+        if m1 is None:
+            raise ValueError("order >= 1 requires m1 moments")
+        m1r = np.einsum("kj,pkj->pk", m1, r)
+        pot = pot - d1 * m1r
+        # -d/dx_d [ -Q1_j T1_j ] = +(D2 r_d m1r + D1 Q1_d)
+        e = e + np.einsum("pk,pk,pkd->pkd", d2, m1r, r) + d1[..., None] * m1[None]
+    if order >= 2:
+        if m2 is None:
+            raise ValueError("order >= 2 requires m2 moments")
+        m2r = np.einsum("kjl,pkl->pkj", m2, r)
+        m2rr = np.einsum("pkj,pkj->pk", m2r, r)
+        trq = np.einsum("kjj->k", m2)
+        pot = pot + d2 * m2rr + d1 * trq[None, :]
+        e = e - (
+            np.einsum("pk,pk,pkd->pkd", d3, m2rr, r)
+            + 2.0 * d2[..., None] * m2r
+            + np.einsum("pk,k,pkd->pkd", d2, trq, r)
+        )
+    return pot.sum(axis=1), e.sum(axis=1)

@@ -1,0 +1,322 @@
+"""Barnes-Hut field evaluators (the "PEPC" front end).
+
+:class:`TreeEvaluator` implements the vortex-method
+:class:`~repro.vortex.problem.FieldEvaluator` interface in
+``O(N log N)``: build the oct-tree, compute multipole moments, run the
+group-collective dual traversal, then evaluate far interactions by
+multipole expansion and near interactions by direct summation.
+
+The multipole acceptance parameter ``theta`` controls the accuracy/cost
+trade-off; PFASST's particle-based coarsening (the paper's contribution)
+is simply two ``TreeEvaluator`` instances sharing everything but ``theta``
+(0.3 fine / 0.6 coarse in the paper's runs).
+
+:class:`TreeCoulombSolver` provides the scalar-charge (Coulomb/gravity)
+counterpart, mirroring PEPC's multi-purpose design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tree.build import Octree, build_octree
+from repro.tree.evaluate import evaluate_coulomb_far, evaluate_vortex_far
+from repro.tree.mac import MACVariant
+from repro.tree.multipole import (
+    compute_coulomb_moments,
+    compute_vortex_moments,
+)
+from repro.tree.profiles import supports_multipoles
+from repro.tree.traversal import InteractionLists, dual_traversal
+from repro.utils.timing import TimingRegistry
+from repro.utils.validation import check_positive
+from repro.vortex.kernels import SingularKernel, SmoothingKernel, get_kernel
+from repro.vortex.problem import FieldEvaluator
+from repro.vortex.rhs import VelocityField, biot_savart_direct
+
+__all__ = ["TreeStats", "TreeEvaluator", "TreeCoulombSolver"]
+
+
+@dataclass
+class TreeStats:
+    """Work statistics of the most recent tree evaluation."""
+
+    n_particles: int = 0
+    n_nodes: int = 0
+    n_groups: int = 0
+    mac_tests: int = 0
+    far_pairs: int = 0
+    near_pairs: int = 0
+    far_interactions: int = 0
+    near_interactions: int = 0
+
+    @property
+    def interactions_per_particle(self) -> float:
+        if self.n_particles == 0:
+            return 0.0
+        return (self.far_interactions + self.near_interactions) / self.n_particles
+
+
+def _group_slices(sorted_by: np.ndarray, n_groups: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Start offsets per group in an array sorted by group index."""
+    starts = np.searchsorted(sorted_by, np.arange(n_groups), side="left")
+    ends = np.searchsorted(sorted_by, np.arange(n_groups), side="right")
+    return starts, ends
+
+
+class TreeEvaluator(FieldEvaluator):
+    """Barnes-Hut evaluator for the vortex RHS.
+
+    Parameters
+    ----------
+    kernel :
+        Smoothing kernel (must be algebraic or singular — those admit
+        exact multipole radial chains).
+    sigma :
+        Core size.
+    theta :
+        Multipole acceptance parameter; larger = faster and less accurate.
+    order :
+        Multipole order: 0 monopole, 1 dipole, 2 quadrupole (default).
+    leaf_size :
+        Particles per leaf; leaves double as traversal target groups.
+    mac_variant :
+        ``"bh"`` (classical, the paper's choice) or ``"bmax"``.
+    """
+
+    def __init__(
+        self,
+        kernel: SmoothingKernel | str,
+        sigma: float,
+        theta: float = 0.3,
+        order: int = 2,
+        leaf_size: int = 32,
+        mac_variant: MACVariant = "bh",
+    ) -> None:
+        super().__init__()
+        self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
+        if not supports_multipoles(self.kernel):
+            raise ValueError(
+                f"kernel {self.kernel.name!r} lacks an exact multipole "
+                "expansion; use DirectEvaluator or an algebraic kernel"
+            )
+        self.sigma = check_positive("sigma", sigma)
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
+        self.theta = float(theta)
+        if order not in (0, 1, 2):
+            raise ValueError(f"order must be 0, 1 or 2, got {order}")
+        self.order = order
+        self.leaf_size = int(leaf_size)
+        self.mac_variant: MACVariant = mac_variant
+        self.phases = TimingRegistry()
+        self.last_stats = TreeStats()
+        self._exclude_zero = (
+            isinstance(self.kernel, SingularKernel)
+            and self.kernel.softening == 0.0
+        )
+
+    def _evaluate(
+        self, positions: np.ndarray, charges: np.ndarray, gradient: bool
+    ) -> VelocityField:
+        with self.phases.phase("tree_build"):
+            tree = build_octree(positions, leaf_size=self.leaf_size)
+        with self.phases.phase("moments"):
+            moments = compute_vortex_moments(tree, charges)
+        with self.phases.phase("traverse"):
+            lists = dual_traversal(
+                tree, self.theta, node_bmax=moments.bmax,
+                variant=self.mac_variant,
+            )
+        charges_sorted = charges[tree.order]
+        n = positions.shape[0]
+        vel = np.zeros((n, 3))
+        grad = np.zeros((n, 3, 3)) if gradient else None
+
+        far_order = np.argsort(lists.far_group, kind="stable")
+        far_group = lists.far_group[far_order]
+        far_node = lists.far_node[far_order]
+        near_order = np.argsort(lists.near_group, kind="stable")
+        near_group = lists.near_group[near_order]
+        near_node = lists.near_node[near_order]
+        fstart, fend = _group_slices(far_group, lists.n_groups)
+        nstart, nend = _group_slices(near_group, lists.n_groups)
+
+        with self.phases.phase("far_field"):
+            for gi in range(lists.n_groups):
+                leaf = lists.groups[gi]
+                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
+                nodes = far_node[fstart[gi]:fend[gi]]
+                if nodes.size == 0:
+                    continue
+                u, g = evaluate_vortex_far(
+                    tree.positions[lo:hi],
+                    moments.center[nodes],
+                    moments.m0[nodes],
+                    moments.m1[nodes],
+                    moments.m2[nodes],
+                    self.kernel,
+                    self.sigma,
+                    order=self.order,
+                    gradient=gradient,
+                )
+                vel[lo:hi] += u
+                if gradient:
+                    grad[lo:hi] += g
+
+        with self.phases.phase("near_field"):
+            for gi in range(lists.n_groups):
+                leaf = lists.groups[gi]
+                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
+                src_leaves = near_node[nstart[gi]:nend[gi]]
+                if src_leaves.size == 0:
+                    continue
+                seg = [
+                    slice(tree.node_start[s], tree.node_end[s])
+                    for s in src_leaves
+                ]
+                src_pos = np.concatenate([tree.positions[s] for s in seg])
+                src_ch = np.concatenate([charges_sorted[s] for s in seg])
+                field = biot_savart_direct(
+                    tree.positions[lo:hi],
+                    src_pos,
+                    src_ch,
+                    self.kernel,
+                    self.sigma,
+                    gradient=gradient,
+                    exclude_zero=self._exclude_zero,
+                )
+                vel[lo:hi] += field.velocity
+                if gradient:
+                    grad[lo:hi] += field.gradient
+
+        self.last_stats = TreeStats(
+            n_particles=n,
+            n_nodes=tree.n_nodes,
+            n_groups=lists.n_groups,
+            mac_tests=lists.mac_tests,
+            far_pairs=int(lists.far_group.size),
+            near_pairs=int(lists.near_group.size),
+            far_interactions=lists.far_interaction_count(tree),
+            near_interactions=lists.near_interaction_count(tree),
+        )
+        # scatter from Morton order back to caller order
+        out_v = np.empty_like(vel)
+        out_v[tree.order] = vel
+        out_g = None
+        if gradient:
+            out_g = np.empty_like(grad)
+            out_g[tree.order] = grad
+        return VelocityField(out_v, out_g)
+
+
+class TreeCoulombSolver:
+    """Barnes-Hut potential/field solver for scalar charges.
+
+    Mirrors PEPC's original Coulomb/gravity mode; used by the Fig. 5-style
+    scaling benchmark ("homogeneous neutral Coulomb system").
+    """
+
+    def __init__(
+        self,
+        theta: float = 0.6,
+        order: int = 2,
+        leaf_size: int = 32,
+        softening: float = 0.0,
+        mac_variant: MACVariant = "bh",
+    ) -> None:
+        self.kernel = SingularKernel(softening=softening)
+        self.theta = float(theta)
+        self.order = order
+        self.leaf_size = int(leaf_size)
+        self.mac_variant: MACVariant = mac_variant
+        self.phases = TimingRegistry()
+        self.last_stats = TreeStats()
+
+    def compute(
+        self, positions: np.ndarray, charges: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(potential, field)`` at every particle position."""
+        with self.phases.phase("tree_build"):
+            tree = build_octree(positions, leaf_size=self.leaf_size)
+        with self.phases.phase("moments"):
+            moments = compute_coulomb_moments(tree, charges)
+        with self.phases.phase("traverse"):
+            lists = dual_traversal(
+                tree, self.theta, node_bmax=moments.bmax,
+                variant=self.mac_variant,
+            )
+        q_sorted = charges[tree.order]
+        n = positions.shape[0]
+        phi = np.zeros(n)
+        field = np.zeros((n, 3))
+
+        far_order = np.argsort(lists.far_group, kind="stable")
+        far_group = lists.far_group[far_order]
+        far_node = lists.far_node[far_order]
+        near_order = np.argsort(lists.near_group, kind="stable")
+        near_group = lists.near_group[near_order]
+        near_node = lists.near_node[near_order]
+        fstart, fend = _group_slices(far_group, lists.n_groups)
+        nstart, nend = _group_slices(near_group, lists.n_groups)
+
+        inv_four_pi = 1.0 / (4.0 * np.pi)
+        with self.phases.phase("far_field"):
+            for gi in range(lists.n_groups):
+                leaf = lists.groups[gi]
+                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
+                nodes = far_node[fstart[gi]:fend[gi]]
+                if nodes.size == 0:
+                    continue
+                p, e = evaluate_coulomb_far(
+                    tree.positions[lo:hi],
+                    moments.center[nodes],
+                    moments.m0[nodes],
+                    moments.m1[nodes],
+                    moments.m2[nodes],
+                    self.kernel,
+                    1.0,
+                    order=self.order,
+                )
+                phi[lo:hi] += p
+                field[lo:hi] += e
+
+        with self.phases.phase("near_field"):
+            for gi in range(lists.n_groups):
+                leaf = lists.groups[gi]
+                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
+                src_leaves = near_node[nstart[gi]:nend[gi]]
+                if src_leaves.size == 0:
+                    continue
+                seg = [
+                    slice(tree.node_start[s], tree.node_end[s])
+                    for s in src_leaves
+                ]
+                src_pos = np.concatenate([tree.positions[s] for s in seg])
+                src_q = np.concatenate([q_sorted[s] for s in seg])
+                r = tree.positions[lo:hi, None, :] - src_pos[None, :, :]
+                d2 = np.einsum("tsk,tsk->ts", r, r) + self.kernel.softening**2
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    inv = np.where(d2 > 0.0, 1.0 / np.sqrt(d2), 0.0)
+                phi[lo:hi] += inv_four_pi * (inv @ src_q)
+                f3 = inv**3 * src_q[None, :]
+                field[lo:hi] += inv_four_pi * np.einsum("ts,tsk->tk", f3, r)
+
+        self.last_stats = TreeStats(
+            n_particles=n,
+            n_nodes=tree.n_nodes,
+            n_groups=lists.n_groups,
+            mac_tests=lists.mac_tests,
+            far_pairs=int(lists.far_group.size),
+            near_pairs=int(lists.near_group.size),
+            far_interactions=lists.far_interaction_count(tree),
+            near_interactions=lists.near_interaction_count(tree),
+        )
+        out_phi = np.empty_like(phi)
+        out_phi[tree.order] = phi
+        out_field = np.empty_like(field)
+        out_field[tree.order] = field
+        return out_phi, out_field

@@ -1,0 +1,172 @@
+"""Multirate far-field evaluator (paper Sec. V outlook).
+
+The paper's conclusion sketches a refinement of the MAC-based coarsening:
+*"coarse problems could update the contribution from well separated
+particle clusters less frequently than nearby clusters.  The spatial
+decomposition implicit in the tree structure provides a natural hierarchy
+of spatial scales, and such a splitting could be combined with the
+acceptance criterion model used here."*
+
+:class:`MultirateTreeEvaluator` implements exactly that splitting: the
+force is decomposed by the MAC into near field (direct) and far field
+(multipoles); the far-field contribution is *frozen* and reused while
+the particles stay within a displacement tolerance of the freeze
+configuration, and only the near field is recomputed per call.  Far
+contributions vary slowly, so this gives an even cheaper coarse
+propagator than a larger theta alone — PFASST's FAS correction absorbs
+the coarse-model defect exactly like any other.
+
+The refresh policy is *displacement-based* rather than call-count-based
+on purpose: inside an iterative method like PFASST, a call-count policy
+makes the coarse operator depend on the call parity and destroys the
+fixed point (the iteration then cycles instead of converging).  With a
+displacement trigger the operator is piecewise constant in state space:
+as the iteration converges, positions stop moving, the frozen field
+stops refreshing, and the tau-corrected coarse equation has a genuine
+fixed point at the restricted fine solution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tree.evaluator import TreeEvaluator
+from repro.vortex.kernels import SmoothingKernel
+from repro.vortex.problem import FieldEvaluator
+from repro.vortex.rhs import VelocityField
+
+__all__ = ["MultirateTreeEvaluator"]
+
+
+class MultirateTreeEvaluator(FieldEvaluator):
+    """Tree evaluator with a displacement-frozen far field.
+
+    Parameters
+    ----------
+    kernel, sigma, theta, order, leaf_size :
+        Forwarded to the underlying :class:`TreeEvaluator`.
+    freeze_tolerance :
+        The far field is recomputed whenever any particle has moved more
+        than this distance (or the charges have drifted by the analogous
+        relative amount) since the last refresh; 0 recovers the plain
+        tree evaluator.  A good default is a small fraction of sigma.
+    """
+
+    def __init__(
+        self,
+        kernel: SmoothingKernel | str,
+        sigma: float,
+        theta: float = 0.6,
+        order: int = 2,
+        leaf_size: int = 32,
+        freeze_tolerance: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if freeze_tolerance < 0:
+            raise ValueError(
+                f"freeze_tolerance must be >= 0, got {freeze_tolerance}"
+            )
+        self.freeze_tolerance = float(freeze_tolerance)
+        # full evaluator (near + far) used on refresh calls; also the
+        # source of theta / kernel configuration for the near-only pass
+        self._full = TreeEvaluator(kernel, sigma, theta=theta, order=order,
+                                   leaf_size=leaf_size)
+        self._near_only = self._full
+        self._frozen_far_velocity: Optional[np.ndarray] = None
+        self._frozen_far_gradient: Optional[np.ndarray] = None
+        self._frozen_positions: Optional[np.ndarray] = None
+        self._frozen_charges: Optional[np.ndarray] = None
+        self.refresh_count = 0
+        self.frozen_count = 0
+
+    def _needs_refresh(
+        self, positions: np.ndarray, charges: np.ndarray, gradient: bool
+    ) -> bool:
+        if (
+            self._frozen_far_velocity is None
+            or self._frozen_positions is None
+            or self._frozen_positions.shape != positions.shape
+            or (gradient and self._frozen_far_gradient is None)
+        ):
+            return True
+        if self.freeze_tolerance == 0.0:
+            return True
+        move = np.max(np.abs(positions - self._frozen_positions))
+        if move > self.freeze_tolerance:
+            return True
+        charge_scale = max(np.max(np.abs(self._frozen_charges)), 1e-300)
+        drift = np.max(np.abs(charges - self._frozen_charges)) / charge_scale
+        return drift > self.freeze_tolerance
+
+    def _evaluate(
+        self, positions: np.ndarray, charges: np.ndarray, gradient: bool
+    ) -> VelocityField:
+        if self._needs_refresh(positions, charges, gradient):
+            full = self._full.field(positions, charges, gradient=gradient)
+            near = self._near_field(positions, charges, gradient)
+            self._frozen_far_velocity = full.velocity - near.velocity
+            self._frozen_far_gradient = (
+                full.gradient - near.gradient if gradient else None
+            )
+            self._frozen_positions = positions.copy()
+            self._frozen_charges = charges.copy()
+            self.refresh_count += 1
+            return full
+        self.frozen_count += 1
+        near = self._near_field(positions, charges, gradient)
+        velocity = near.velocity + self._frozen_far_velocity
+        grad = None
+        if gradient:
+            grad = near.gradient + self._frozen_far_gradient
+        return VelocityField(velocity, grad)
+
+    def _near_field(
+        self, positions: np.ndarray, charges: np.ndarray, gradient: bool
+    ) -> VelocityField:
+        """Near-field part only: build + traverse, evaluate near pairs,
+        skip the far (multipole) loop entirely."""
+        ev = self._near_only
+        from repro.tree.build import build_octree
+        from repro.tree.multipole import compute_vortex_moments
+        from repro.tree.traversal import dual_traversal
+        from repro.vortex.rhs import biot_savart_direct
+
+        tree = build_octree(positions, leaf_size=ev.leaf_size)
+        moments = compute_vortex_moments(tree, charges)
+        lists = dual_traversal(tree, ev.theta, node_bmax=moments.bmax,
+                               variant=ev.mac_variant)
+        charges_sorted = charges[tree.order]
+        n = positions.shape[0]
+        vel = np.zeros((n, 3))
+        grad = np.zeros((n, 3, 3)) if gradient else None
+        order = np.argsort(lists.near_group, kind="stable")
+        near_group = lists.near_group[order]
+        near_node = lists.near_node[order]
+        starts = np.searchsorted(near_group, np.arange(lists.n_groups), "left")
+        ends = np.searchsorted(near_group, np.arange(lists.n_groups), "right")
+        for gi in range(lists.n_groups):
+            leaf = lists.groups[gi]
+            lo, hi = tree.node_start[leaf], tree.node_end[leaf]
+            src = near_node[starts[gi]:ends[gi]]
+            if src.size == 0:
+                continue
+            seg = [slice(tree.node_start[s], tree.node_end[s]) for s in src]
+            src_pos = np.concatenate([tree.positions[s] for s in seg])
+            src_ch = np.concatenate([charges_sorted[s] for s in seg])
+            field = biot_savart_direct(
+                tree.positions[lo:hi], src_pos, src_ch, ev.kernel,
+                ev.sigma, gradient=gradient,
+                exclude_zero=ev._exclude_zero,
+            )
+            vel[lo:hi] += field.velocity
+            if gradient:
+                grad[lo:hi] += field.gradient
+        out_v = np.empty_like(vel)
+        out_v[tree.order] = vel
+        out_g = None
+        if gradient:
+            out_g = np.empty_like(grad)
+            out_g[tree.order] = grad
+        return VelocityField(out_v, out_g)

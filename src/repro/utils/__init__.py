@@ -1,0 +1,22 @@
+"""Small shared utilities: timers, chunk iteration, validation helpers."""
+
+from repro.utils.timing import Timer, TimingRegistry, timed
+from repro.utils.chunking import chunk_ranges, chunk_pairs_budget
+from repro.utils.validation import (
+    check_positive,
+    check_nonnegative,
+    check_array,
+    check_in,
+)
+
+__all__ = [
+    "Timer",
+    "TimingRegistry",
+    "timed",
+    "chunk_ranges",
+    "chunk_pairs_budget",
+    "check_positive",
+    "check_nonnegative",
+    "check_array",
+    "check_in",
+]

@@ -1,0 +1,65 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def check_array(
+    name: str,
+    arr: np.ndarray,
+    shape: Sequence[int | None] | None = None,
+    dtype: Any = None,
+    finite: bool = False,
+) -> np.ndarray:
+    """Validate shape / dtype / finiteness of an ndarray.
+
+    ``shape`` entries of ``None`` match any extent; ``dtype`` is compared by
+    kind-compatible casting (``np.float64`` accepts any float).  Returns the
+    array converted to ``dtype`` when one is given (no copy if compatible).
+    """
+    arr = np.asarray(arr, dtype=dtype)
+    if shape is not None:
+        if arr.ndim != len(shape):
+            raise ValueError(
+                f"{name} must have ndim {len(shape)}, got shape {arr.shape}"
+            )
+        for axis, want in enumerate(shape):
+            if want is not None and arr.shape[axis] != want:
+                raise ValueError(
+                    f"{name} axis {axis} must have length {want}, "
+                    f"got shape {arr.shape}"
+                )
+    if finite and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def as_shape3(name: str, x: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Coerce to a float64 (N, 3) array and return (array, N)."""
+    arr = check_array(name, x, shape=(None, 3), dtype=np.float64)
+    return arr, arr.shape[0]

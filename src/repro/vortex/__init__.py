@@ -1,0 +1,84 @@
+"""Vortex particle method: kernels, states, direct RHS, initial conditions.
+
+This package implements the model problem of Sec. II of the paper — the 3D
+vortex particle discretisation of the incompressible Euler equations in
+vorticity-velocity form — as a reusable substrate for the space-time
+parallel solver.
+"""
+
+from repro.vortex.kernels import (
+    SmoothingKernel,
+    SecondOrderAlgebraic,
+    FourthOrderAlgebraic,
+    SixthOrderAlgebraic,
+    GaussianKernel,
+    SingularKernel,
+    get_kernel,
+    available_kernels,
+)
+from repro.vortex.particles import (
+    ParticleSystem,
+    pack_state,
+    unpack_state,
+    state_like,
+)
+from repro.vortex.rhs import VelocityField, biot_savart_direct, stretching_rhs
+from repro.vortex.sheet import (
+    SheetConfig,
+    spherical_vortex_sheet,
+    sphere_points,
+    SIGMA_OVER_H,
+)
+from repro.vortex.diagnostics import (
+    FlowDiagnostics,
+    compute_diagnostics,
+    total_vorticity,
+    linear_impulse,
+    angular_impulse,
+    enstrophy,
+    kinetic_energy,
+)
+from repro.vortex.problem import (
+    ODEProblem,
+    FieldEvaluator,
+    DirectEvaluator,
+    VortexProblem,
+)
+from repro.vortex.remesh import RemeshResult, remesh, m4prime, lambda1
+
+__all__ = [
+    "SmoothingKernel",
+    "SecondOrderAlgebraic",
+    "FourthOrderAlgebraic",
+    "SixthOrderAlgebraic",
+    "GaussianKernel",
+    "SingularKernel",
+    "get_kernel",
+    "available_kernels",
+    "ParticleSystem",
+    "pack_state",
+    "unpack_state",
+    "state_like",
+    "VelocityField",
+    "biot_savart_direct",
+    "stretching_rhs",
+    "SheetConfig",
+    "spherical_vortex_sheet",
+    "sphere_points",
+    "SIGMA_OVER_H",
+    "FlowDiagnostics",
+    "compute_diagnostics",
+    "total_vorticity",
+    "linear_impulse",
+    "angular_impulse",
+    "enstrophy",
+    "kinetic_energy",
+    "ODEProblem",
+    "FieldEvaluator",
+    "DirectEvaluator",
+    "VortexProblem",
+    "RemeshResult",
+    "remesh",
+    "m4prime",
+    "lambda1",
+]

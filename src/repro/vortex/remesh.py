@@ -1,0 +1,159 @@
+"""Particle remeshing (paper outlook; Speck, Krause & Gibbon 2012 [25]).
+
+Long vortex-particle runs distort the particle distribution until the
+quadrature underlying Eq. (3) degrades.  Remeshing interpolates the
+particle vorticity onto a regular grid with a moment-conserving kernel
+and replaces the particles by the non-empty grid nodes.
+
+Implemented kernels (tensor products of 1D kernels):
+
+* ``lambda1`` — linear (CIC): conserves total vorticity (moment 0) and
+  linear impulse contributions (moment 1); non-negative.
+* ``m4prime`` — the M4' kernel of Monaghan (1985), the vortex-methods
+  standard: conserves moments 0..2, third-order accurate, support 4h.
+
+Remeshing is *conservative by construction*: the tests verify that total
+vorticity is preserved to round-off and that the induced far velocity
+field changes only at the interpolation error level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+from repro.vortex.particles import ParticleSystem
+
+__all__ = ["RemeshResult", "remesh", "m4prime", "lambda1"]
+
+Kernel1D = Literal["lambda1", "m4prime"]
+
+
+def lambda1(x: np.ndarray) -> np.ndarray:
+    """Linear (cloud-in-cell) kernel, support [-1, 1]."""
+    ax = np.abs(x)
+    return np.where(ax < 1.0, 1.0 - ax, 0.0)
+
+
+def m4prime(x: np.ndarray) -> np.ndarray:
+    """Monaghan's M4' kernel, support [-2, 2], conserves moments 0..2."""
+    ax = np.abs(x)
+    inner = 1.0 - 2.5 * ax**2 + 1.5 * ax**3
+    outer = 0.5 * (2.0 - ax) ** 2 * (1.0 - ax)
+    return np.where(ax < 1.0, inner, np.where(ax < 2.0, outer, 0.0))
+
+
+_KERNELS = {
+    "lambda1": (lambda1, 1),  # (function, reach in cells)
+    "m4prime": (m4prime, 2),
+}
+
+
+@dataclass
+class RemeshResult:
+    """Outcome of a remeshing pass."""
+
+    particles: ParticleSystem
+    #: fraction of grid nodes that received vorticity
+    fill_fraction: float
+    #: number of particles before / after
+    n_before: int
+    n_after: int
+
+
+def remesh(
+    ps: ParticleSystem,
+    spacing: float,
+    kernel: Kernel1D = "m4prime",
+    prune_below: float = 1e-12,
+) -> RemeshResult:
+    """Interpolate particles onto a regular grid and rebuild the set.
+
+    Parameters
+    ----------
+    ps :
+        Current particle system; ``charges = omega * vol`` are deposited.
+    spacing :
+        Grid spacing ``h`` of the new particle lattice; new particles
+        carry volume ``h^3``.
+    kernel :
+        1D interpolation kernel (tensor-product in 3D).
+    prune_below :
+        Grid nodes whose deposited charge magnitude falls below this
+        fraction of the maximum are dropped.
+
+    Notes
+    -----
+    Deposits the *charge* (vorticity times volume) so that the total
+    vector charge is conserved exactly (the kernels satisfy a partition
+    of unity); the new vorticity is charge / h^3.
+    """
+    check_positive("spacing", spacing)
+    fn, reach = _KERNELS[kernel]
+    pos = ps.positions
+    charge = ps.charges  # (N, 3)
+
+    lo = pos.min(axis=0) - (reach + 0.5) * spacing
+    base = np.floor(pos / spacing).astype(np.int64)
+    offsets = np.arange(-reach + 1, reach + 1)  # cells within support
+
+    # accumulate into a dict-of-cells via flat indices on a virtual grid
+    grid_lo = np.floor(lo / spacing).astype(np.int64)
+    extent = (
+        np.ceil((pos.max(axis=0)) / spacing).astype(np.int64)
+        - grid_lo + reach + 2
+    )
+    nx, ny, nz = (int(e) for e in extent)
+    accum = {}
+
+    # weights per axis for all particles and offsets: (N, K)
+    k = offsets.size
+    wx = np.empty((pos.shape[0], k))
+    wy = np.empty_like(wx)
+    wz = np.empty_like(wx)
+    for j, off in enumerate(offsets):
+        cell = base + off
+        for axis, w in ((0, wx), (1, wy), (2, wz)):
+            dist = pos[:, axis] / spacing - cell[:, axis]
+            w[:, j] = fn(dist)
+
+    # outer product of weights over the K^3 stencil, vectorised per offset
+    flat_charges = np.zeros((nx * ny * nz, 3))
+    ix = base[:, 0] - grid_lo[0]
+    iy = base[:, 1] - grid_lo[1]
+    iz = base[:, 2] - grid_lo[2]
+    for jx, ox in enumerate(offsets):
+        for jy, oy in enumerate(offsets):
+            wxy = wx[:, jx] * wy[:, jy]
+            if not np.any(wxy):
+                continue
+            for jz, oz in enumerate(offsets):
+                w = wxy * wz[:, jz]
+                idx = ((ix + ox) * ny + (iy + oy)) * nz + (iz + oz)
+                np.add.at(flat_charges, idx, w[:, None] * charge)
+
+    mag = np.linalg.norm(flat_charges, axis=1)
+    cut = prune_below * (mag.max() if mag.size else 0.0)
+    keep = np.nonzero(mag > cut)[0]
+    kz = keep % nz
+    ky = (keep // nz) % ny
+    kx = keep // (nz * ny)
+    new_pos = np.column_stack([
+        (kx + grid_lo[0]) * spacing,
+        (ky + grid_lo[1]) * spacing,
+        (kz + grid_lo[2]) * spacing,
+    ]).astype(np.float64)
+    vol = spacing**3
+    new_vort = flat_charges[keep] / vol
+    new_ps = ParticleSystem(
+        new_pos, new_vort, np.full(keep.size, vol)
+    )
+    return RemeshResult(
+        particles=new_ps,
+        fill_fraction=float(keep.size / max(1, nx * ny * nz)),
+        n_before=ps.n,
+        n_after=int(keep.size),
+    )

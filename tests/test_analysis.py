@@ -1,0 +1,158 @@
+"""Tests for linear stability / convergence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.integrators import rk2_midpoint, rk3_ssp, rk4_classic, forward_euler
+from repro.pfasst.analysis import (
+    parareal_convergence_factor,
+    parareal_error_matrix,
+    rk_stability,
+    sdc_stability,
+)
+
+
+class TestRKStability:
+    def test_euler(self):
+        assert rk_stability(forward_euler, -0.5) == pytest.approx(0.5)
+
+    def test_rk4_polynomial(self):
+        """RK4: R(z) = 1 + z + z^2/2 + z^3/6 + z^4/24."""
+        z = -0.8 + 0.3j
+        expected = 1 + z + z**2 / 2 + z**3 / 6 + z**4 / 24
+        assert rk_stability(rk4_classic, z) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("tableau,order", [
+        (forward_euler, 1), (rk2_midpoint, 2), (rk3_ssp, 3),
+        (rk4_classic, 4),
+    ])
+    def test_matches_exponential_to_order(self, tableau, order):
+        z = 0.01 * (1 + 1j)
+        err = abs(rk_stability(tableau, z) - np.exp(z))
+        assert err < 10 * abs(z) ** (order + 1)
+
+    def test_rk4_imaginary_axis_stability(self):
+        """RK4 is stable on the imaginary axis up to |y| ~ 2.83."""
+        assert abs(rk_stability(rk4_classic, 2.7j)) <= 1.0
+        assert abs(rk_stability(rk4_classic, 3.0j)) > 1.0
+
+    def test_vectorised(self):
+        z = np.array([-0.1, -0.5 + 0.2j])
+        out = rk_stability(rk2_midpoint, z)
+        assert out.shape == (2,)
+
+
+class TestSDCStability:
+    @pytest.mark.parametrize("sweeps", [1, 2, 3, 4])
+    def test_matches_exponential_to_sweep_order(self, sweeps):
+        z = 0.05 * (1 - 0.5j)
+        r = sdc_stability(3, sweeps, z)
+        err = abs(r - np.exp(z))
+        assert err < 50 * abs(z) ** (sweeps + 1)
+
+    def test_one_sweep_is_forward_euler_like_order(self):
+        """One sweep of the first-order corrector is first order."""
+        errs = []
+        for z in (0.2, 0.1):
+            errs.append(abs(sdc_stability(3, 1, z) - np.exp(z)))
+        assert errs[0] / errs[1] == pytest.approx(4.0, rel=0.5)  # O(z^2) err
+
+    def test_converged_sweeps_give_collocation(self):
+        """Many sweeps converge to the exact collocation stability value
+        ``[(I - z Q)^{-1} 1]_M`` (a Pade-like rational approximation)."""
+        from repro.sdc import make_rule
+
+        z = -0.5
+        r = sdc_stability(3, 40, z)
+        rule = make_rule(3)
+        u = np.linalg.solve(np.eye(3) - z * rule.Q, np.ones(3))
+        assert abs(r - u[-1]) < 1e-13
+        # and the collocation value itself is 4th-order close to exp(z)
+        assert abs(u[-1] - np.exp(z)) < 1e-4
+
+    def test_matches_time_stepper(self, scalar_problem):
+        """The matrix form agrees with the actual sweeper on u' = z u."""
+        from repro.sdc import SDCStepper
+        from repro.vortex.problem import ODEProblem
+
+        z = -0.7
+
+        class Dahl(ODEProblem):
+            def rhs(self, t, u):
+                return z * u
+
+        stepper = SDCStepper(Dahl(), num_nodes=3, sweeps=3)
+        u = stepper.run(np.array([1.0]), 0.0, 1.0, 1.0)
+        r = sdc_stability(3, 3, z)
+        assert u[0] == pytest.approx(np.real(r), abs=1e-12)
+
+    def test_explicit_sdc_stability_limited(self):
+        """Explicit sweeps are conditionally stable: big negative z
+        amplifies."""
+        assert abs(sdc_stability(3, 4, -20.0)) > 1.0
+        assert abs(sdc_stability(3, 4, -1.0)) < 1.0
+
+
+class TestPararealFactor:
+    def test_identical_propagators_converge_instantly(self):
+        e = parareal_error_matrix(0.9, 0.9, 6)
+        assert np.allclose(e, 0.0)
+        assert parareal_convergence_factor(0.9, 0.9, 6) == 0.0
+
+    def test_factor_below_one_for_good_coarse(self):
+        r_f = np.exp(-0.5)
+        r_g = 1.0 / (1.0 + 0.5)  # backward Euler
+        factor = parareal_convergence_factor(r_f, r_g, 8)
+        assert 0 < factor < 1
+
+    def test_factor_grows_with_coarse_error(self):
+        r_f = np.exp(-0.5)
+        good = parareal_convergence_factor(r_f, np.exp(-0.45), 8)
+        bad = parareal_convergence_factor(r_f, np.exp(-0.1), 8)
+        assert bad > good
+
+    def test_nilpotent_after_n_iterations(self):
+        """Parareal is exact after N iterations: E^N = 0."""
+        e = parareal_error_matrix(0.8, 0.5, 5)
+        assert np.allclose(np.linalg.matrix_power(e, 5), 0.0, atol=1e-12)
+
+    def test_strictly_lower_triangular(self):
+        e = parareal_error_matrix(0.8, 0.5, 5)
+        assert np.allclose(np.triu(e), 0.0)
+
+    def test_invalid_slices(self):
+        with pytest.raises(ValueError, match="n_slices"):
+            parareal_error_matrix(0.5, 0.4, 0)
+
+    def test_iterated_factor_decreases(self):
+        r_f, r_g = np.exp(-0.3), 1 / 1.3
+        f1 = parareal_convergence_factor(r_f, r_g, 10, iterations=1)
+        f2 = parareal_convergence_factor(r_f, r_g, 10, iterations=2)
+        assert f2 < f1
+
+    def test_factor_predicts_measured_parareal_convergence(self):
+        """The linear theory matches the actual algorithm on u' = z u."""
+        from repro.pfasst.parareal import PararealConfig, parareal_serial
+
+        z = -1.0
+        dt = 0.25
+        n = 8
+
+        def fine(t, dt_, u):
+            # exact propagator
+            return u * np.exp(z * dt_)
+
+        def coarse(t, dt_, u):
+            return u / (1.0 - z * dt_)  # backward Euler
+
+        cfg = PararealConfig(0.0, n * dt, n, 3)
+        res = parareal_serial(cfg, coarse, fine, np.array([1.0]))
+        measured_ratio = res.increments[2] / res.increments[1]
+        r_f, r_g = np.exp(z * dt), 1 / (1 - z * dt)
+        e = parareal_error_matrix(r_f, r_g, n)
+        rho = np.max(np.abs(np.linalg.eigvals(e)))
+        # nilpotent matrix: compare transient norms instead of rho
+        f2 = parareal_convergence_factor(r_f, r_g, n, 2)
+        f1 = parareal_convergence_factor(r_f, r_g, n, 1)
+        assert measured_ratio < 1.0
+        assert f2 / f1 < 1.0

@@ -1,0 +1,123 @@
+"""Tests for the SpaceTimeSolver facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, SpaceConfig, SpaceTimeSolver, TimeConfig
+from repro.vortex import SheetConfig, spherical_vortex_sheet
+
+
+@pytest.fixture(scope="module")
+def sheet():
+    cfg = SheetConfig(n=200)
+    return spherical_vortex_sheet(cfg), cfg
+
+
+class TestConfigValidation:
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            TimeConfig(method="leapfrog")
+
+    def test_bad_evaluator(self):
+        with pytest.raises(ValueError, match="evaluator"):
+            SpaceConfig(evaluator="fmm")
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            TimeConfig(dt=-0.5)
+
+    def test_n_steps(self):
+        assert TimeConfig(t_end=4.0, dt=0.5).n_steps == 8
+
+    def test_n_steps_non_divisible(self):
+        with pytest.raises(ValueError, match="integer multiple"):
+            TimeConfig(t_end=1.0, dt=0.3).n_steps
+
+    def test_negative_theta(self):
+        with pytest.raises(ValueError, match="theta"):
+            SpaceConfig(theta=-1.0)
+
+
+class TestRuns:
+    def test_rk_run(self, sheet):
+        ps, cfg = sheet
+        config = SolverConfig(
+            space=SpaceConfig(evaluator="direct"),
+            time=TimeConfig(method="rk2", t_end=1.0, dt=0.5),
+        )
+        res = SpaceTimeSolver(ps, cfg.sigma, config).run()
+        assert res.final.n == ps.n
+        assert res.fine_evals == 4  # 2 steps x 2 stages
+        assert res.coarse_evals == 0
+
+    def test_sdc_run(self, sheet):
+        ps, cfg = sheet
+        config = SolverConfig(
+            space=SpaceConfig(evaluator="direct"),
+            time=TimeConfig(method="sdc", t_end=1.0, dt=0.5, sweeps=3),
+        )
+        res = SpaceTimeSolver(ps, cfg.sigma, config).run()
+        assert res.fine_evals > 0
+        assert res.alpha_measured is None
+
+    def test_pfasst_run_records_alpha(self, sheet):
+        ps, cfg = sheet
+        config = SolverConfig(
+            space=SpaceConfig(evaluator="tree", theta=0.3, theta_coarse=0.6,
+                              leaf_size=24),
+            time=TimeConfig(method="pfasst", t_end=1.0, dt=0.25,
+                            iterations=2, coarse_sweeps=2, p_time=4),
+        )
+        res = SpaceTimeSolver(ps, cfg.sigma, config).run()
+        assert res.coarse_evals > 0
+        assert res.alpha_measured is not None
+        assert res.alpha_measured > 0
+        assert len(res.residuals) == 4
+
+    def test_methods_agree_on_final_state(self, sheet):
+        """All integrators must land on (approximately) the same flow."""
+        ps, cfg = sheet
+        results = {}
+        for method, extra in [
+            ("rk4", {}),
+            ("sdc", {"sweeps": 4}),
+            ("pfasst", {"iterations": 3, "coarse_sweeps": 2, "p_time": 2}),
+        ]:
+            config = SolverConfig(
+                space=SpaceConfig(evaluator="direct"),
+                time=TimeConfig(method=method, t_end=1.0, dt=0.5, **extra),
+            )
+            res = SpaceTimeSolver(ps, cfg.sigma, config).run()
+            results[method] = res.final.positions
+        scale = np.max(np.abs(results["rk4"]))
+        assert np.max(np.abs(results["sdc"] - results["rk4"])) < 1e-4 * scale
+        assert np.max(np.abs(results["pfasst"] - results["sdc"])) < 1e-4 * scale
+
+    def test_callback_receives_states(self, sheet):
+        ps, cfg = sheet
+        config = SolverConfig(
+            space=SpaceConfig(evaluator="direct"),
+            time=TimeConfig(method="euler", t_end=1.0, dt=0.5),
+        )
+        seen = []
+        SpaceTimeSolver(ps, cfg.sigma, config).run(
+            callback=lambda t, u: seen.append(t)
+        )
+        assert seen == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_tree_and_direct_agree(self, sheet):
+        ps, cfg = sheet
+        base = TimeConfig(method="rk2", t_end=0.5, dt=0.5)
+        r_direct = SpaceTimeSolver(
+            ps, cfg.sigma,
+            SolverConfig(space=SpaceConfig(evaluator="direct"), time=base),
+        ).run()
+        r_tree = SpaceTimeSolver(
+            ps, cfg.sigma,
+            SolverConfig(space=SpaceConfig(evaluator="tree", theta=0.2,
+                                           leaf_size=24), time=base),
+        ).run()
+        scale = np.max(np.abs(r_direct.final.positions))
+        diff = np.max(np.abs(r_tree.final.positions -
+                             r_direct.final.positions))
+        assert diff < 1e-4 * scale

@@ -1,0 +1,141 @@
+"""Tests for SFC domain decomposition and branch nodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tree.domain import (
+    branch_counts,
+    cover_key_range,
+    partition_box_surface,
+    sfc_partition,
+)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("curve", ["morton", "hilbert"])
+    def test_balanced_counts(self, rng, curve):
+        pos = rng.random((1000, 3))
+        d = sfc_partition(pos, 7, curve=curve)
+        assert d.counts.sum() == 1000
+        assert d.counts.max() - d.counts.min() <= 1
+        assert d.imbalance < 1.01
+
+    def test_rank_of_consistent_with_slices(self, rng):
+        pos = rng.random((300, 3))
+        d = sfc_partition(pos, 4)
+        for r in range(4):
+            idx = d.order[d.rank_start[r]:d.rank_end[r]]
+            assert np.all(d.rank_of[idx] == r)
+
+    def test_contiguous_key_ranges(self, rng):
+        """Rank key intervals are disjoint and ordered."""
+        pos = rng.random((500, 3))
+        d = sfc_partition(pos, 5)
+        for r in range(4):
+            last = d.keys_sorted[d.rank_end[r] - 1]
+            first_next = d.keys_sorted[d.rank_start[r + 1]]
+            assert last <= first_next
+
+    def test_single_rank(self, rng):
+        pos = rng.random((50, 3))
+        d = sfc_partition(pos, 1)
+        assert d.counts[0] == 50
+
+    def test_too_few_particles(self, rng):
+        with pytest.raises(ValueError, match="cannot split"):
+            sfc_partition(rng.random((3, 3)), 5)
+
+    def test_unknown_curve(self, rng):
+        with pytest.raises(ValueError, match="curve"):
+            sfc_partition(rng.random((10, 3)), 2, curve="peano")
+
+    def test_hilbert_surface_not_worse_than_morton(self, rng):
+        """The SFC-quality ablation claim (on a uniform cloud)."""
+        pos = rng.random((4000, 3))
+        sm = partition_box_surface(pos, sfc_partition(pos, 16, "morton"))
+        sh = partition_box_surface(pos, sfc_partition(pos, 16, "hilbert"))
+        assert sh <= sm * 1.1
+
+
+class TestCoverKeyRange:
+    def test_single_key(self):
+        cells = cover_key_range(5, 5, depth=4)
+        assert cells == [(5, 4)]
+
+    def test_full_domain(self):
+        cells = cover_key_range(0, 8**4 - 1, depth=4)
+        assert cells == [(0, 0)]
+
+    def test_aligned_octant(self):
+        size = 8**3
+        cells = cover_key_range(size, 2 * size - 1, depth=4)
+        assert cells == [(size, 1)]
+
+    def test_cover_is_exact_partition(self):
+        lo, hi = 13, 997
+        cells = cover_key_range(lo, hi, depth=4)
+        covered = []
+        for start, level in cells:
+            span = 8 ** (4 - level)
+            assert start % span == 0, "cells must be aligned"
+            covered.extend(range(start, start + span))
+        assert covered == list(range(lo, hi + 1))
+
+    def test_minimality(self):
+        """No two sibling cells of the cover can be merged."""
+        cells = cover_key_range(13, 997, depth=4)
+        keys = {(s, l) for s, l in cells}
+        for start, level in cells:
+            if level == 0:
+                continue
+            span = 8 ** (4 - level)
+            parent_span = span * 8
+            parent_start = (start // parent_span) * parent_span
+            siblings = {
+                (parent_start + i * span, level) for i in range(8)
+            }
+            assert not siblings <= keys, "mergeable siblings found"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            cover_key_range(5, 4)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError, match="key space"):
+            cover_key_range(0, 8**4, depth=4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lo=st.integers(0, 8**4 - 1),
+        span=st.integers(0, 2000),
+    )
+    def test_cover_property(self, lo, span):
+        hi = min(lo + span, 8**4 - 1)
+        cells = cover_key_range(lo, hi, depth=4)
+        total = sum(8 ** (4 - level) for _, level in cells)
+        assert total == hi - lo + 1
+
+
+class TestBranchCounts:
+    def test_counts_positive(self, rng):
+        pos = rng.random((600, 3))
+        d = sfc_partition(pos, 8)
+        counts = branch_counts(d)
+        assert np.all(counts >= 1)
+
+    def test_single_rank_has_few_branches(self, rng):
+        pos = rng.random((600, 3))
+        d = sfc_partition(pos, 1)
+        counts = branch_counts(d)
+        # one rank covering its own key interval: O(depth) cells,
+        # roughly bounded by 2 * 7 * depth = 294 at depth 21
+        assert counts[0] < 300
+
+    def test_total_branches_grow_with_ranks(self, rng):
+        """The Fig. 5 saturation driver: more ranks => more branch
+        nodes to exchange in total."""
+        pos = rng.random((2000, 3))
+        totals = [branch_counts(sfc_partition(pos, p)).sum()
+                  for p in (2, 8, 32)]
+        assert totals[0] < totals[1] < totals[2]

@@ -1,0 +1,113 @@
+"""Tests for the Runge-Kutta baselines."""
+
+import numpy as np
+import pytest
+
+from repro.integrators import (
+    ButcherTableau,
+    RungeKutta,
+    available_integrators,
+    get_integrator,
+    integrate,
+)
+
+
+class TestTableauValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ButcherTableau("bad", 1, ((0.0,),), (0.5,), (0.0,))
+
+    def test_must_be_explicit(self):
+        with pytest.raises(ValueError, match="not explicit"):
+            ButcherTableau("bad", 1, ((1.0,),), (1.0,), (0.0,))
+
+    def test_inconsistent_stage_counts(self):
+        with pytest.raises(ValueError, match="stage counts"):
+            ButcherTableau("bad", 1, ((0.0,),), (1.0,), (0.0, 0.0))
+
+    def test_row_length_check(self):
+        with pytest.raises(ValueError, match="wrong length"):
+            ButcherTableau("bad", 2, ((0.0,), (0.5, 0.0)), (0.5, 0.5), (0.0, 0.5))
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_integrators()
+        assert {"euler", "rk2", "rk3", "rk4"} <= set(names)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown integrator"):
+            get_integrator("rk99")
+
+    @pytest.mark.parametrize("name,order", [
+        ("euler", 1), ("rk2", 2), ("rk2_heun", 2), ("rk3", 3), ("rk4", 4),
+    ])
+    def test_orders_registered(self, name, order):
+        assert get_integrator(name).order == order
+
+
+class TestConvergenceOrders:
+    """Measured order on the linear test system must match the tableau."""
+
+    @pytest.mark.parametrize("name", ["euler", "rk2", "rk2_heun", "rk3", "rk4"])
+    def test_order(self, name, linear_problem):
+        integ = get_integrator(name)
+        u0 = np.array([1.0, 0.5])
+        t_end = 1.0
+        exact = linear_problem.exact(t_end, u0)
+        errors = []
+        for dt in (0.1, 0.05, 0.025):
+            u = integ.run(linear_problem, u0, 0.0, t_end, dt)
+            errors.append(np.max(np.abs(u - exact)))
+        rates = [np.log2(errors[i] / errors[i + 1]) for i in range(2)]
+        assert rates[-1] == pytest.approx(integ.order, abs=0.35)
+
+
+class TestIntegrateDriver:
+    def test_callback_called_at_every_step(self, linear_problem):
+        times = []
+        get_integrator("rk2").run(
+            linear_problem, np.array([1.0, 0.0]), 0.0, 1.0, 0.25,
+            callback=lambda t, u: times.append(t),
+        )
+        assert times == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_non_divisible_interval_rejected(self, linear_problem):
+        with pytest.raises(ValueError, match="integer multiple"):
+            get_integrator("rk2").run(
+                linear_problem, np.array([1.0, 0.0]), 0.0, 1.0, 0.3
+            )
+
+    def test_zero_span_returns_initial(self, linear_problem):
+        u0 = np.array([1.0, 2.0])
+        u = get_integrator("rk4").run(linear_problem, u0, 0.0, 0.0, 0.1)
+        assert np.array_equal(u, u0)
+
+    def test_negative_span_rejected(self, linear_problem):
+        with pytest.raises(ValueError, match="t_end"):
+            get_integrator("rk4").run(
+                linear_problem, np.array([1.0, 0.0]), 1.0, 0.0, 0.1
+            )
+
+    def test_negative_dt_rejected(self, linear_problem):
+        with pytest.raises(ValueError, match="dt"):
+            get_integrator("rk4").run(
+                linear_problem, np.array([1.0, 0.0]), 0.0, 1.0, -0.1
+            )
+
+    def test_initial_state_not_mutated(self, linear_problem):
+        u0 = np.array([1.0, 0.0])
+        keep = u0.copy()
+        get_integrator("rk4").run(linear_problem, u0, 0.0, 1.0, 0.5)
+        assert np.array_equal(u0, keep)
+
+    def test_rk2_step_hand_computed(self, scalar_problem):
+        """One midpoint-RK2 step against a hand computation."""
+        rk2 = get_integrator("rk2")
+        u0 = np.array([1.0])
+        dt = 0.1
+        k1 = scalar_problem.rhs(0.0, u0)
+        k2 = scalar_problem.rhs(dt / 2, u0 + dt / 2 * k1)
+        expected = u0 + dt * k2
+        out = rk2.step(scalar_problem, 0.0, dt, u0)
+        assert np.allclose(out, expected)

@@ -1,0 +1,76 @@
+"""Tests for checkpoint I/O."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_particles,
+    load_run_summary,
+    save_particles,
+    save_run_summary,
+)
+from repro.vortex import spherical_vortex_sheet
+from repro.vortex.sheet import SheetConfig
+
+
+class TestParticleCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        ps = spherical_vortex_sheet(SheetConfig(n=100))
+        path = save_particles(tmp_path / "state.npz", ps, time=2.5,
+                              metadata={"theta": 0.3})
+        ps2, time, meta = load_particles(path)
+        assert time == 2.5
+        assert meta == {"theta": 0.3}
+        assert np.array_equal(ps2.positions, ps.positions)
+        assert np.array_equal(ps2.vorticity, ps.vorticity)
+        assert np.array_equal(ps2.volumes, ps.volumes)
+
+    def test_suffix_appended(self, tmp_path):
+        ps = spherical_vortex_sheet(SheetConfig(n=10))
+        path = save_particles(tmp_path / "state", ps)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_default_metadata_empty(self, tmp_path):
+        ps = spherical_vortex_sheet(SheetConfig(n=10))
+        path = save_particles(tmp_path / "s.npz", ps)
+        _, time, meta = load_particles(path)
+        assert time == 0.0
+        assert meta == {}
+
+    def test_future_version_rejected(self, tmp_path):
+        ps = spherical_vortex_sheet(SheetConfig(n=10))
+        path = save_particles(tmp_path / "s.npz", ps)
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_particles(path)
+
+    def test_loaded_system_usable(self, tmp_path):
+        """A loaded checkpoint can continue an integration run."""
+        from repro.integrators import get_integrator
+        from repro.vortex import DirectEvaluator, VortexProblem, get_kernel
+
+        cfg = SheetConfig(n=60)
+        ps = spherical_vortex_sheet(cfg)
+        path = save_particles(tmp_path / "c.npz", ps, time=0.0)
+        ps2, t0, _ = load_particles(path)
+        prob = VortexProblem(
+            ps2.volumes, DirectEvaluator(get_kernel("algebraic6"), cfg.sigma)
+        )
+        u = get_integrator("rk2").run(prob, ps2.state(), t0, t0 + 0.5, 0.5)
+        assert np.all(np.isfinite(u))
+
+
+class TestRunSummaries:
+    def test_roundtrip(self, tmp_path):
+        summary = {"speedup": np.float64(3.5), "p_t": np.int64(8),
+                   "curve": np.array([1.0, 2.0])}
+        path = save_run_summary(tmp_path / "run.json", summary)
+        loaded = load_run_summary(path)
+        assert loaded == {"speedup": 3.5, "p_t": 8, "curve": [1.0, 2.0]}
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_run_summary(tmp_path / "x.json", {"bad": object()})

@@ -1,0 +1,174 @@
+"""Tests for the smoothing kernels (repro.vortex.kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vortex.kernels import (
+    GaussianKernel,
+    SingularKernel,
+    available_kernels,
+    get_kernel,
+)
+
+REGULAR = ["algebraic2", "algebraic4", "algebraic6", "gaussian"]
+ALGEBRAIC = ["algebraic2", "algebraic4", "algebraic6"]
+
+
+class TestRegistry:
+    def test_all_kernels_constructible(self):
+        for name in available_kernels():
+            assert get_kernel(name).name == name
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("nope")
+
+    def test_expected_names_present(self):
+        assert set(REGULAR) <= set(available_kernels())
+
+    def test_orders(self):
+        assert get_kernel("algebraic2").order == 2
+        assert get_kernel("algebraic4").order == 4
+        assert get_kernel("algebraic6").order == 6
+        assert get_kernel("gaussian").order == 2
+
+
+@pytest.mark.parametrize("name", REGULAR)
+class TestProfileConsistency:
+    def test_qprime_matches_finite_difference(self, name):
+        k = get_kernel(name)
+        rho = np.linspace(0.05, 10.0, 400)
+        eps = 1e-6
+        fd = (k.q(rho + eps) - k.q(rho - eps)) / (2 * eps)
+        assert np.allclose(k.qprime(rho), fd, rtol=1e-5, atol=1e-8)
+
+    def test_q_over_rho3_matches_definition(self, name):
+        k = get_kernel(name)
+        rho = np.linspace(0.2, 8.0, 200)
+        assert np.allclose(k.q_over_rho3(rho), k.q(rho) / rho**3, rtol=1e-10)
+
+    def test_w_matches_definition(self, name):
+        k = get_kernel(name)
+        rho = np.linspace(0.2, 8.0, 200)
+        expected = (rho * k.qprime(rho) - 3 * k.q(rho)) / rho**5
+        assert np.allclose(k.w(rho), expected, rtol=1e-8, atol=1e-12)
+
+    def test_q_tends_to_one(self, name):
+        k = get_kernel(name)
+        assert k.q(np.array([200.0]))[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_q_vanishes_cubically_at_origin(self, name):
+        k = get_kernel(name)
+        rho = np.array([1e-4])
+        # q ~ c rho^3, so q / rho^3 is finite and positive
+        val = k.q_over_rho3(rho)[0]
+        assert np.isfinite(val)
+        assert val > 0
+
+    def test_q_monotone_for_second_order(self, name):
+        k = get_kernel(name)
+        rho = np.linspace(0.0, 20.0, 2001)
+        q = k.q(rho)
+        if k.order == 2:
+            # positive zeta => monotone q
+            assert np.all(np.diff(q) >= -1e-14)
+        # all kernels: q stays bounded
+        assert np.all(np.abs(q) < 1.6)
+
+    def test_zeta_is_finite_everywhere(self, name):
+        k = get_kernel(name)
+        rho = np.concatenate([[0.0, 1e-12], np.linspace(0.01, 30, 100)])
+        assert np.all(np.isfinite(k.zeta(rho)))
+
+
+@pytest.mark.parametrize("name", REGULAR)
+def test_mass_moment_is_one(name):
+    assert get_kernel(name).moment(0) == pytest.approx(1.0, abs=2e-3)
+
+
+@pytest.mark.parametrize("name", ["algebraic4", "algebraic6"])
+def test_second_moment_vanishes(name):
+    assert get_kernel(name).moment(2) == pytest.approx(0.0, abs=1e-4)
+
+
+def test_fourth_moment_vanishes_for_sixth_order():
+    # slow 1/rho^4 tail: generous integration range, loose tolerance
+    m4 = get_kernel("algebraic6").moment(4, rmax=400.0, n=400_001)
+    assert abs(m4) < 2e-2
+
+
+class TestSingularKernel:
+    def test_q_is_unity(self):
+        k = SingularKernel()
+        assert np.all(k.q(np.linspace(0.1, 5, 10)) == 1.0)
+
+    def test_f_radial_is_inverse_cube(self):
+        k = SingularKernel()
+        r = np.array([0.5, 1.0, 2.0])
+        assert np.allclose(k.f_radial(r, 123.0), 1.0 / r**3)
+
+    def test_softening_removes_singularity(self):
+        k = SingularKernel(softening=0.1)
+        assert np.isfinite(k.f_radial(np.array([0.0]), 1.0))[0]
+
+    def test_negative_softening_rejected(self):
+        with pytest.raises(ValueError):
+            SingularKernel(softening=-1.0)
+
+    def test_sigma_independence(self):
+        k = SingularKernel()
+        r = np.linspace(0.1, 3, 7)
+        assert np.allclose(k.f_radial(r, 1.0), k.f_radial(r, 42.0))
+
+
+class TestGaussianSeries:
+    def test_series_matches_closed_form_at_same_point(self):
+        k = GaussianKernel()
+        rho = np.array([k._series_cut * 0.98])  # series branch
+        series = k.q_over_rho3(rho)[0]
+        closed = k.q(rho)[0] / rho[0] ** 3  # closed form, same point
+        assert series == pytest.approx(closed, rel=1e-7)
+
+    def test_w_series_matches_closed_form_at_same_point(self):
+        k = GaussianKernel()
+        rho = np.array([k._series_cut * 0.98])
+        series = k.w(rho)[0]
+        closed = (rho[0] * k.qprime(rho)[0] - 3 * k.q(rho)[0]) / rho[0] ** 5
+        assert series == pytest.approx(closed, rel=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rho=st.floats(min_value=0.6, max_value=50.0),
+    name=st.sampled_from(REGULAR),
+)
+def test_radial_factors_relation_property(rho, name):
+    """F and G are consistent: G = (rho q' - 3 q) / (sigma^5 rho^5).
+
+    rho is kept away from 0 because the *reference* expression
+    ``q(rho)/rho^3`` cancels catastrophically there (the implementation's
+    series/rational forms are the numerically correct branch; small-rho
+    accuracy is covered by the series-vs-closed-form tests above).
+    """
+    k = get_kernel(name)
+    sigma = 0.7
+    r = np.array([rho * sigma])
+    f = k.f_radial(r, sigma)[0]
+    g = k.g_radial(r, sigma)[0]
+    q = k.q(np.array([rho]))[0]
+    qp = k.qprime(np.array([rho]))[0]
+    assert f == pytest.approx(q / (sigma**3 * rho**3), rel=1e-8, abs=1e-12)
+    assert g == pytest.approx(
+        (rho * qp - 3 * q) / (sigma**5 * rho**5), rel=1e-6, abs=1e-10
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=st.sampled_from(ALGEBRAIC), scale=st.floats(0.1, 10.0))
+def test_zeta_positive_mass_property(name, scale):
+    """Integral of 4 pi rho^2 zeta over [0, R] equals q(R) for any R."""
+    k = get_kernel(name)
+    rho = np.linspace(0, scale, 20001)
+    integral = np.trapezoid(k.qprime(rho), rho)
+    assert integral == pytest.approx(k.q(np.array([scale]))[0], abs=1e-5)

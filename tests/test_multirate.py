@@ -1,0 +1,133 @@
+"""Tests for the multirate far-field evaluator (paper Sec. V outlook)."""
+
+import numpy as np
+import pytest
+
+from repro.tree import MultirateTreeEvaluator, TreeEvaluator
+from repro.vortex import get_kernel, spherical_vortex_sheet
+from repro.vortex.sheet import SheetConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = SheetConfig(n=400)
+    ps = spherical_vortex_sheet(cfg)
+    kernel = get_kernel("algebraic6")
+    return ps, cfg, kernel
+
+
+class TestMultirate:
+    def test_refresh_call_matches_plain_tree(self, setup):
+        ps, cfg, kernel = setup
+        plain = TreeEvaluator(kernel, cfg.sigma, theta=0.6, leaf_size=32)
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32,
+                                       freeze_tolerance=0.01 * cfg.sigma)
+        a = plain.field(ps.positions, ps.charges)
+        b = multi.field(ps.positions, ps.charges)  # first call refreshes
+        assert multi.refresh_count == 1
+        assert np.allclose(a.velocity, b.velocity, atol=1e-12)
+        assert np.allclose(a.gradient, b.gradient, atol=1e-12)
+
+    def test_frozen_far_consistent_when_static(self, setup):
+        """If particles do not move, the frozen far field is exact."""
+        ps, cfg, kernel = setup
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32,
+                                       freeze_tolerance=0.01 * cfg.sigma)
+        first = multi.field(ps.positions, ps.charges)
+        second = multi.field(ps.positions, ps.charges)  # frozen path
+        assert multi.frozen_count == 1
+        assert np.allclose(second.velocity, first.velocity, atol=1e-12)
+        assert np.allclose(second.gradient, first.gradient, atol=1e-12)
+
+    def test_frozen_far_small_error_when_moving_slightly(self, setup):
+        ps, cfg, kernel = setup
+        tol = 0.05 * cfg.sigma
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32, freeze_tolerance=tol)
+        plain = TreeEvaluator(kernel, cfg.sigma, theta=0.6, leaf_size=32)
+        multi.field(ps.positions, ps.charges)
+        moved = ps.positions + 0.5 * tol
+        exact = plain.field(moved, ps.charges)
+        frozen = multi.field(moved, ps.charges)
+        assert multi.frozen_count == 1  # below tolerance: no refresh
+        rel = np.max(np.abs(frozen.velocity - exact.velocity)) / np.max(
+            np.abs(exact.velocity)
+        )
+        assert rel < 5e-2
+
+    def test_large_move_triggers_refresh(self, setup):
+        ps, cfg, kernel = setup
+        tol = 0.01 * cfg.sigma
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32, freeze_tolerance=tol)
+        plain = TreeEvaluator(kernel, cfg.sigma, theta=0.6, leaf_size=32)
+        multi.field(ps.positions, ps.charges)
+        moved = ps.positions + 10 * tol
+        out = multi.field(moved, ps.charges)
+        assert multi.refresh_count == 2
+        exact = plain.field(moved, ps.charges)
+        assert np.allclose(out.velocity, exact.velocity, atol=1e-12)
+
+    def test_charge_drift_triggers_refresh(self, setup):
+        ps, cfg, kernel = setup
+        tol = 0.01
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32, freeze_tolerance=tol)
+        multi.field(ps.positions, ps.charges)
+        multi.field(ps.positions, ps.charges * (1.0 + 5 * tol))
+        assert multi.refresh_count == 2
+
+    def test_zero_tolerance_always_refreshes(self, setup):
+        ps, cfg, kernel = setup
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32, freeze_tolerance=0.0)
+        multi.field(ps.positions, ps.charges)
+        multi.field(ps.positions, ps.charges)
+        assert multi.refresh_count == 2
+        assert multi.frozen_count == 0
+
+    def test_particle_count_change_forces_refresh(self, setup):
+        ps, cfg, kernel = setup
+        multi = MultirateTreeEvaluator(kernel, cfg.sigma, theta=0.6,
+                                       leaf_size=32,
+                                       freeze_tolerance=cfg.sigma)
+        multi.field(ps.positions, ps.charges)
+        out = multi.field(ps.positions[:200], ps.charges[:200])
+        assert out.velocity.shape == (200, 3)
+        assert multi.refresh_count == 2
+
+    def test_invalid_tolerance(self, setup):
+        _, cfg, kernel = setup
+        with pytest.raises(ValueError, match="freeze_tolerance"):
+            MultirateTreeEvaluator(kernel, cfg.sigma, freeze_tolerance=-1.0)
+
+    def test_usable_as_pfasst_coarse_level(self, setup):
+        """End-to-end: PFASST with a multirate coarse propagator still
+        converges toward the fine solution (the outlook's purpose)."""
+        from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
+        from repro.sdc import SDCStepper
+        from repro.vortex import VortexProblem
+
+        ps, cfg, kernel = setup
+        fine_ev = TreeEvaluator(kernel, cfg.sigma, theta=0.3, leaf_size=32)
+        coarse_ev = MultirateTreeEvaluator(
+            kernel, cfg.sigma, theta=0.6, leaf_size=32,
+            freeze_tolerance=0.02 * cfg.sigma,
+        )
+        fine = VortexProblem(ps.volumes, fine_ev)
+        coarse = fine.with_evaluator(coarse_ev)
+        u0 = ps.state()
+        config = PfasstConfig(t0=0.0, t_end=1.0, n_steps=2, iterations=4)
+        specs = [
+            LevelSpec(fine, num_nodes=3, sweeps=1),
+            LevelSpec(coarse, num_nodes=2, sweeps=2),
+        ]
+        res = run_pfasst(config, specs, u0, p_time=2)
+        ref = SDCStepper(fine, num_nodes=3, sweeps=10).run(u0, 0.0, 1.0, 0.5)
+        err = np.max(np.abs(res.u_end[0] - ref[0])) / np.max(np.abs(ref[0]))
+        assert err < 1e-6
+        assert res.residuals[-1][-1] < res.residuals[-1][0]
+        # the frozen path must actually have been exercised
+        assert coarse_ev.frozen_count > 0

@@ -1,0 +1,103 @@
+"""Tests for the classic parareal baseline."""
+
+import numpy as np
+import pytest
+
+from repro.integrators import get_integrator
+from repro.pfasst.parareal import (
+    PararealConfig,
+    parareal_serial,
+    run_parareal,
+)
+
+
+@pytest.fixture
+def propagators(linear_problem):
+    rk4 = get_integrator("rk4")
+    euler = get_integrator("euler")
+
+    def fine(t, dt, u):
+        return rk4.run(linear_problem, u, t, t + dt, dt / 8)
+
+    def coarse(t, dt, u):
+        return euler.run(linear_problem, u, t, t + dt, dt)
+
+    return coarse, fine, linear_problem
+
+
+class TestValidation:
+    def test_bad_slices(self):
+        with pytest.raises(ValueError):
+            PararealConfig(0.0, 1.0, 0, 1)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            PararealConfig(1.0, 0.0, 4, 1)
+
+    def test_rank_count_must_match(self, propagators):
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 4, 2)
+        from repro.parallel import Scheduler
+        from repro.pfasst.parareal import _parareal_rank_program
+
+        with pytest.raises(ValueError, match="one rank per slice"):
+            Scheduler(3, measure_compute=False).run(
+                _parareal_rank_program,
+                args=(cfg, coarse, fine, np.array([1.0, 0.0])),
+            )
+
+
+class TestConvergence:
+    def test_zero_iterations_equals_coarse(self, propagators):
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 4, 0)
+        u0 = np.array([1.0, 0.0])
+        res = parareal_serial(cfg, coarse, fine, u0)
+        u = u0
+        for k in range(4):
+            u = coarse(k * 0.25, 0.25, u)
+        assert np.allclose(res.u_end, u)
+
+    def test_n_iterations_gives_exact_fine(self, propagators):
+        """After K = N iterations parareal equals the serial fine solution."""
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 4, 4)
+        u0 = np.array([1.0, 0.0])
+        res = parareal_serial(cfg, coarse, fine, u0)
+        u = u0
+        for k in range(4):
+            u = fine(k * 0.25, 0.25, u)
+        assert np.allclose(res.u_end, u, atol=1e-12)
+
+    def test_increments_shrink(self, propagators):
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 6, 5)
+        res = parareal_serial(cfg, coarse, fine, np.array([1.0, 0.0]))
+        assert res.increments[-1] < res.increments[0] * 1e-2
+
+    def test_pipelined_matches_serial(self, propagators):
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 5, 3)
+        u0 = np.array([1.0, 0.0])
+        ser = parareal_serial(cfg, coarse, fine, u0)
+        par = run_parareal(cfg, coarse, fine, u0)
+        assert np.allclose(ser.u_end, par.u_end, atol=1e-13)
+        assert np.allclose(ser.increments, par.increments, atol=1e-13)
+
+    def test_pipelined_slice_values(self, propagators):
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 4, 2)
+        u0 = np.array([1.0, 0.0])
+        ser = parareal_serial(cfg, coarse, fine, u0)
+        par = run_parareal(cfg, coarse, fine, u0)
+        for a, b in zip(ser.slice_values, par.slice_values):
+            assert np.allclose(a, b, atol=1e-13)
+
+    def test_clocks_populated(self, propagators):
+        coarse, fine, _ = propagators
+        cfg = PararealConfig(0.0, 1.0, 4, 2)
+        res = run_parareal(
+            cfg, coarse, fine, np.array([1.0, 0.0]), measure_compute=True
+        )
+        assert len(res.clocks) == 4
+        assert res.makespan > 0.0

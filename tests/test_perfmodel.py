@@ -1,0 +1,96 @@
+"""Tests for the machine/scaling performance model."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    JUGENE,
+    MachineModel,
+    PepcScalingModel,
+    calibrate_interactions,
+)
+
+
+class TestMachine:
+    def test_jugene_core_count(self):
+        assert JUGENE.max_cores == 294_912
+        assert JUGENE.cores_per_node == 4
+
+    def test_interaction_time_positive(self):
+        assert JUGENE.interaction_time() > 0
+
+    def test_transfer_time_monotone_in_bytes(self):
+        assert JUGENE.transfer_time(10**6) > JUGENE.transfer_time(10**3)
+
+
+class TestScalingModel:
+    @pytest.fixture
+    def model(self):
+        return PepcScalingModel()
+
+    def test_work_term_scales_inversely_at_small_p(self, model):
+        t1 = model.traversal_time(10**6, 64)
+        t2 = model.traversal_time(10**6, 128)
+        assert t2 < t1
+        assert t2 > t1 / 2.5  # not superlinear
+
+    def test_branch_exchange_grows_with_p(self, model):
+        times = [model.branch_exchange_time(10**6, p)
+                 for p in (64, 1024, 16384)]
+        assert times[0] < times[1] < times[2]
+
+    def test_total_time_saturates(self, model):
+        """Fig. 5: for fixed N the total stops improving and turns up."""
+        n = 125_000
+        cores = [2**k for k in range(0, 19)]
+        totals = [model.point(n, c).total for c in cores]
+        best = int(np.argmin(totals))
+        assert 0 < best < len(cores) - 1
+        assert totals[-1] > totals[best]
+
+    def test_saturation_moves_right_with_n(self, model):
+        """Bigger problems saturate at higher core counts (Fig. 5)."""
+        s_small = model.saturation_cores(125_000)
+        s_mid = model.saturation_cores(8_000_000)
+        s_large = model.saturation_cores(2_048_000_000)
+        assert s_small < s_mid <= s_large
+
+    def test_point_decomposition_sums(self, model):
+        p = model.point(10**6, 256)
+        assert p.total == pytest.approx(
+            p.traversal + p.branch_exchange + p.build
+        )
+
+    def test_sweep_returns_curve(self, model):
+        pts = model.sweep(10**6, [64, 256, 1024])
+        assert [p.cores for p in pts] == [64, 256, 1024]
+
+    def test_interactions_per_particle_grows_logarithmically(self, model):
+        i1 = model.interactions_per_particle(10**4)
+        i2 = model.interactions_per_particle(10**6)
+        assert i2 > i1
+        assert i2 < 10 * i1
+
+
+class TestCalibration:
+    def test_exact_fit_of_log_law(self):
+        a_true, b_true = -30.0, 28.0
+        meas = {
+            2**k: a_true + b_true * k for k in (10, 13, 16, 20)
+        }
+        a, b = calibrate_interactions(meas)
+        assert a == pytest.approx(a_true, abs=1e-8)
+        assert b == pytest.approx(b_true, abs=1e-8)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="two"):
+            calibrate_interactions({1000: 100.0})
+
+    def test_calibrated_model_reproduces_measurements(self, rng):
+        meas = {10**4: 300.0, 10**5: 420.0, 10**6: 540.0}
+        a, b = calibrate_interactions(meas)
+        model = PepcScalingModel(ipp_a=a, ipp_b=b)
+        for n, ipp in meas.items():
+            assert model.interactions_per_particle(n) == pytest.approx(
+                ipp, rel=0.05
+            )

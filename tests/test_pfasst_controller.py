@@ -1,0 +1,175 @@
+"""Tests for the PFASST controller (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
+from repro.sdc import SDCStepper
+
+
+def _specs(problem, fine_nodes=3, coarse_nodes=2, coarse_sweeps=2):
+    return [
+        LevelSpec(problem, num_nodes=fine_nodes, sweeps=1),
+        LevelSpec(problem, num_nodes=coarse_nodes, sweeps=coarse_sweeps),
+    ]
+
+
+def _collocation_reference(problem, u0, t_end, n_steps):
+    """Fine collocation solution via heavily-swept serial SDC."""
+    s = SDCStepper(problem, num_nodes=3, sweeps=14)
+    return s.run(u0, 0.0, t_end, t_end / n_steps)
+
+
+class TestValidation:
+    def test_needs_two_levels(self, scalar_problem):
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=2, iterations=1)
+        with pytest.raises(ValueError, match="2 levels"):
+            run_pfasst(cfg, [LevelSpec(scalar_problem, 3)], np.array([1.0]),
+                       p_time=2)
+
+    def test_steps_multiple_of_ranks(self, scalar_problem):
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=3, iterations=1)
+        with pytest.raises(ValueError, match="multiple"):
+            run_pfasst(cfg, _specs(scalar_problem), np.array([1.0]), p_time=2)
+
+    def test_bad_config_values(self):
+        with pytest.raises(ValueError):
+            PfasstConfig(t0=0.0, t_end=1.0, n_steps=0, iterations=1)
+        with pytest.raises(ValueError):
+            PfasstConfig(t0=0.0, t_end=1.0, n_steps=2, iterations=0)
+        with pytest.raises(ValueError):
+            PfasstConfig(t0=1.0, t_end=1.0, n_steps=2, iterations=1)
+
+    def test_level_spec_validation(self, scalar_problem):
+        with pytest.raises(ValueError, match="nodes"):
+            LevelSpec(scalar_problem, num_nodes=1)
+        with pytest.raises(ValueError, match="sweep"):
+            LevelSpec(scalar_problem, num_nodes=3, sweeps=0)
+
+
+class TestConvergence:
+    def test_converges_to_fine_collocation_solution(self, scalar_problem):
+        u0 = np.array([1.0])
+        ref = _collocation_reference(scalar_problem, u0, 2.0, 8)
+        cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=8, iterations=10)
+        res = run_pfasst(cfg, _specs(scalar_problem), u0, p_time=8)
+        assert np.allclose(res.u_end, ref, atol=1e-10)
+
+    def test_error_decreases_with_iterations(self, scalar_problem):
+        u0 = np.array([1.0])
+        ref = _collocation_reference(scalar_problem, u0, 2.0, 8)
+        errors = []
+        for k in (1, 2, 4):
+            cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=8, iterations=k)
+            res = run_pfasst(cfg, _specs(scalar_problem), u0, p_time=8)
+            errors.append(abs((res.u_end - ref).item()))
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1] * 0.5
+
+    def test_residuals_decrease(self, scalar_problem):
+        cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=4, iterations=6)
+        res = run_pfasst(cfg, _specs(scalar_problem), np.array([1.0]), p_time=4)
+        for rank_res in res.residuals:
+            assert rank_res[-1] < rank_res[0]
+
+    def test_single_rank_runs_blocks_serially(self, scalar_problem):
+        """p_time=1 is valid: every slice is one block."""
+        u0 = np.array([1.0])
+        ref = _collocation_reference(scalar_problem, u0, 1.0, 4)
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=4, iterations=8)
+        res = run_pfasst(cfg, _specs(scalar_problem), u0, p_time=1)
+        assert np.allclose(res.u_end, ref, atol=1e-8)
+
+    def test_multi_block_matches_single_block_accuracy(self, scalar_problem):
+        u0 = np.array([1.0])
+        ref = _collocation_reference(scalar_problem, u0, 2.0, 8)
+        cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=8, iterations=8)
+        res2 = run_pfasst(cfg, _specs(scalar_problem), u0, p_time=2)  # 4 blocks
+        res8 = run_pfasst(cfg, _specs(scalar_problem), u0, p_time=8)  # 1 block
+        assert np.allclose(res2.u_end, ref, atol=1e-8)
+        assert np.allclose(res8.u_end, ref, atol=1e-8)
+
+    def test_three_level_hierarchy(self, scalar_problem):
+        u0 = np.array([1.0])
+        # reference must match the FINE level: 5-node collocation
+        ref = SDCStepper(scalar_problem, num_nodes=5, sweeps=14).run(
+            u0, 0.0, 1.0, 0.25
+        )
+        specs = [
+            LevelSpec(scalar_problem, num_nodes=5, sweeps=1),
+            LevelSpec(scalar_problem, num_nodes=3, sweeps=1),
+            LevelSpec(scalar_problem, num_nodes=2, sweeps=2),
+        ]
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=4, iterations=10)
+        res = run_pfasst(cfg, specs, u0, p_time=4)
+        assert np.allclose(res.u_end, ref, atol=1e-8)
+
+    def test_vector_state(self, linear_problem):
+        u0 = np.array([1.0, 0.5])
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=4, iterations=8)
+        res = run_pfasst(cfg, _specs(linear_problem), u0, p_time=4)
+        # converge to the fine collocation solution, not the exact ODE
+        ref = SDCStepper(linear_problem, num_nodes=3, sweeps=14).run(
+            u0, 0.0, 1.0, 0.25
+        )
+        assert np.allclose(res.u_end, ref, atol=1e-9)
+        # and the collocation solution itself is close to exact
+        exact = linear_problem.exact(1.0, u0)
+        assert np.allclose(ref, exact, atol=5e-4)
+
+
+class TestResultMetadata:
+    def test_slice_end_values_chain(self, scalar_problem):
+        cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=4, iterations=8)
+        res = run_pfasst(cfg, _specs(scalar_problem), np.array([1.0]), p_time=4)
+        assert len(res.slice_end_values) == 4
+        # converged: slice k's end == reference at t_{k+1}
+        s = SDCStepper(scalar_problem, num_nodes=3, sweeps=14)
+        u = np.array([1.0])
+        for k in range(4):
+            u = s.run(u, k * 0.5, (k + 1) * 0.5, 0.5)
+            assert np.allclose(res.slice_end_values[k], u, atol=1e-6)
+
+    def test_clock_count(self, scalar_problem):
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=4, iterations=2)
+        res = run_pfasst(cfg, _specs(scalar_problem), np.array([1.0]), p_time=4)
+        assert len(res.clocks) == 4
+        assert res.makespan >= 0.0
+
+    def test_iterations_done_records_full_count(self, scalar_problem):
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=4, iterations=3)
+        res = run_pfasst(cfg, _specs(scalar_problem), np.array([1.0]), p_time=4)
+        assert res.iterations_done == [3]
+
+    def test_residual_tol_early_exit(self, scalar_problem):
+        cfg = PfasstConfig(
+            t0=0.0, t_end=1.0, n_steps=4, iterations=25, residual_tol=1e-10
+        )
+        res = run_pfasst(cfg, _specs(scalar_problem), np.array([1.0]), p_time=4)
+        assert res.iterations_done[0] < 25
+        assert max(r[-1] for r in res.residuals) <= 1e-10
+
+
+class TestPaperConfigurations:
+    """PFASST(X, Y, P_T) variants from Fig. 7b."""
+
+    @pytest.mark.parametrize("iters,coarse_sweeps", [(1, 2), (2, 2)])
+    def test_paper_variant_accuracy_order(self, scalar_problem, iters,
+                                          coarse_sweeps):
+        """PFASST(1,2,·) ~ 3rd order, PFASST(2,2,·) ~ 4th order (Fig. 7b).
+
+        The mean rate over a 3-point dt ladder is used: single-halving
+        rates fluctuate around error-curve crossovers."""
+        u0 = np.array([1.0])
+        ref = SDCStepper(scalar_problem, num_nodes=5, sweeps=10).run(
+            u0, 0.0, 2.0, 0.01
+        )
+        errors = []
+        for n_steps in (8, 16, 32):
+            cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=n_steps,
+                               iterations=iters)
+            specs = _specs(scalar_problem, coarse_sweeps=coarse_sweeps)
+            res = run_pfasst(cfg, specs, u0, p_time=8)
+            errors.append(abs((res.u_end - ref).item()))
+        mean_rate = np.log2(errors[0] / errors[-1]) / 2.0
+        assert mean_rate > iters + 1.0  # at least order iters+2 w/ slack

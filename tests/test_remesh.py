@@ -1,0 +1,122 @@
+"""Tests for particle remeshing (paper outlook feature [25])."""
+
+import numpy as np
+import pytest
+
+from repro.vortex import (
+    DirectEvaluator,
+    ParticleSystem,
+    get_kernel,
+    spherical_vortex_sheet,
+)
+from repro.vortex.remesh import lambda1, m4prime, remesh
+from repro.vortex.rhs import biot_savart_direct
+from repro.vortex.sheet import SheetConfig
+
+
+class TestKernels1D:
+    def test_lambda1_partition_of_unity(self):
+        x = np.linspace(-0.5, 0.5, 11)
+        total = lambda1(x) + lambda1(x - 1) + lambda1(x + 1)
+        assert np.allclose(total, 1.0)
+
+    def test_m4prime_partition_of_unity(self):
+        x = np.linspace(-0.5, 0.5, 11)
+        total = sum(m4prime(x - k) for k in range(-2, 3))
+        assert np.allclose(total, 1.0, atol=1e-12)
+
+    def test_m4prime_first_moment(self):
+        """sum_k k W(x - k) = x (conservation of the first moment)."""
+        x = np.linspace(-0.5, 0.5, 11)
+        moment = sum(k * m4prime(x - k) for k in range(-3, 4))
+        assert np.allclose(moment, x, atol=1e-12)
+
+    def test_m4prime_second_moment(self):
+        x = np.linspace(-0.5, 0.5, 11)
+        moment = sum(k**2 * m4prime(x - k) for k in range(-3, 4))
+        assert np.allclose(moment, x**2, atol=1e-12)
+
+    def test_supports(self):
+        assert lambda1(np.array([1.0]))[0] == 0.0
+        assert m4prime(np.array([2.0]))[0] == 0.0
+        assert m4prime(np.array([0.0]))[0] == 1.0
+
+
+class TestRemesh:
+    @pytest.fixture
+    def sheet(self):
+        return spherical_vortex_sheet(SheetConfig(n=300))
+
+    @pytest.mark.parametrize("kernel", ["lambda1", "m4prime"])
+    def test_total_charge_conserved(self, sheet, kernel):
+        result = remesh(sheet, spacing=0.15, kernel=kernel, prune_below=0.0)
+        before = sheet.charges.sum(axis=0)
+        after = result.particles.charges.sum(axis=0)
+        assert np.allclose(after, before, atol=1e-12)
+
+    def test_linear_impulse_approximately_conserved(self, sheet):
+        from repro.vortex.diagnostics import linear_impulse
+
+        result = remesh(sheet, spacing=0.1, kernel="m4prime",
+                        prune_below=0.0)
+        before = linear_impulse(sheet)
+        after = linear_impulse(result.particles)
+        assert np.allclose(after, before,
+                           atol=2e-2 * np.linalg.norm(before))
+
+    def test_particles_on_lattice(self, sheet):
+        h = 0.2
+        result = remesh(sheet, spacing=h)
+        frac = result.particles.positions / h
+        assert np.allclose(frac, np.round(frac), atol=1e-9)
+
+    def test_volumes_are_cell_volumes(self, sheet):
+        h = 0.2
+        result = remesh(sheet, spacing=h)
+        assert np.allclose(result.particles.volumes, h**3)
+
+    def test_far_velocity_field_preserved(self, sheet):
+        """Remeshing must not change the induced far field much."""
+        cfg = SheetConfig(n=300)
+        kernel = get_kernel("algebraic6")
+        probe = np.array([[3.0, 0.0, 0.0], [0.0, -3.0, 1.0]])
+        before = biot_savart_direct(
+            probe, sheet.positions, sheet.charges, kernel, cfg.sigma,
+            gradient=False,
+        ).velocity
+        result = remesh(sheet, spacing=0.08, kernel="m4prime")
+        after = biot_savart_direct(
+            probe, result.particles.positions, result.particles.charges,
+            kernel, cfg.sigma, gradient=False,
+        ).velocity
+        assert np.allclose(after, before,
+                           atol=0.05 * np.max(np.abs(before)))
+
+    def test_pruning_reduces_count(self, sheet):
+        loose = remesh(sheet, spacing=0.15, prune_below=0.0)
+        tight = remesh(sheet, spacing=0.15, prune_below=1e-3)
+        assert tight.n_after <= loose.n_after
+
+    def test_metadata(self, sheet):
+        result = remesh(sheet, spacing=0.2)
+        assert result.n_before == 300
+        assert result.n_after == result.particles.n
+        assert 0 < result.fill_fraction <= 1
+
+    def test_bad_spacing(self, sheet):
+        with pytest.raises(ValueError, match="spacing"):
+            remesh(sheet, spacing=0.0)
+
+    def test_single_particle_spreads_to_stencil(self):
+        ps = ParticleSystem(
+            np.array([[0.05, 0.05, 0.05]]),
+            np.array([[0.0, 0.0, 1.0]]),
+            np.array([2.0]),
+        )
+        result = remesh(ps, spacing=0.1, kernel="m4prime", prune_below=0.0)
+        # charge conserved
+        assert np.allclose(
+            result.particles.charges.sum(axis=0), [0, 0, 2.0], atol=1e-12
+        )
+        # spread over at most 4^3 nodes
+        assert result.n_after <= 64

@@ -1,0 +1,224 @@
+"""Tests for the direct Biot-Savart evaluation (repro.vortex.rhs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vortex.kernels import SingularKernel, get_kernel
+from repro.vortex.rhs import biot_savart_direct, stretching_rhs
+
+KERNEL = get_kernel("algebraic6")
+SIGMA = 0.4
+
+
+def _finite_difference_gradient(point, sources, charges, eps=1e-6):
+    g = np.zeros((3, 3))
+    for j in range(3):
+        p_plus, p_minus = point.copy(), point.copy()
+        p_plus[0, j] += eps
+        p_minus[0, j] -= eps
+        up = biot_savart_direct(p_plus, sources, charges, KERNEL, SIGMA,
+                                gradient=False).velocity[0]
+        um = biot_savart_direct(p_minus, sources, charges, KERNEL, SIGMA,
+                                gradient=False).velocity[0]
+        g[:, j] = (up - um) / (2 * eps)
+    return g
+
+
+class TestVelocity:
+    def test_single_pair_matches_formula(self):
+        src = np.array([[0.0, 0.0, 0.0]])
+        ch = np.array([[0.0, 0.0, 1.0]])
+        tgt = np.array([[1.0, 0.0, 0.0]])
+        out = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, gradient=False)
+        r = 1.0
+        q = KERNEL.q(np.array([r / SIGMA]))[0]
+        expected = -q / (4 * np.pi * r**3) * np.cross([1.0, 0, 0], [0, 0, 1.0])
+        assert np.allclose(out.velocity[0], expected)
+
+    def test_self_velocity_is_zero(self):
+        src = np.array([[0.3, -0.2, 0.5]])
+        ch = np.array([[1.0, 2.0, 3.0]])
+        out = biot_savart_direct(src, src, ch, KERNEL, SIGMA, gradient=False)
+        assert np.allclose(out.velocity, 0.0)
+
+    def test_linearity_in_charges(self, rng):
+        src = rng.normal(size=(20, 3))
+        ch = rng.normal(size=(20, 3))
+        tgt = rng.normal(size=(5, 3))
+        u1 = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, gradient=False).velocity
+        u2 = biot_savart_direct(tgt, src, 2 * ch, KERNEL, SIGMA, gradient=False).velocity
+        assert np.allclose(u2, 2 * u1)
+
+    def test_superposition(self, rng):
+        src = rng.normal(size=(20, 3))
+        ch = rng.normal(size=(20, 3))
+        tgt = rng.normal(size=(4, 3))
+        u_all = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, gradient=False).velocity
+        u_a = biot_savart_direct(tgt, src[:10], ch[:10], KERNEL, SIGMA, gradient=False).velocity
+        u_b = biot_savart_direct(tgt, src[10:], ch[10:], KERNEL, SIGMA, gradient=False).velocity
+        assert np.allclose(u_all, u_a + u_b)
+
+    def test_chunk_size_does_not_change_result(self, rng):
+        src = rng.normal(size=(50, 3))
+        ch = rng.normal(size=(50, 3))
+        tgt = rng.normal(size=(33, 3))
+        big = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, chunk=1000)
+        small = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, chunk=7)
+        assert np.allclose(big.velocity, small.velocity)
+        assert np.allclose(big.gradient, small.gradient)
+
+    def test_empty_sources(self):
+        out = biot_savart_direct(
+            np.zeros((3, 3)), np.zeros((0, 3)), np.zeros((0, 3)),
+            KERNEL, SIGMA,
+        )
+        assert np.allclose(out.velocity, 0.0)
+
+    def test_empty_targets(self):
+        out = biot_savart_direct(
+            np.zeros((0, 3)), np.zeros((2, 3)), np.ones((2, 3)),
+            KERNEL, SIGMA,
+        )
+        assert out.velocity.shape == (0, 3)
+
+    def test_translation_invariance(self, rng):
+        src = rng.normal(size=(15, 3))
+        ch = rng.normal(size=(15, 3))
+        tgt = rng.normal(size=(4, 3))
+        shift = np.array([1.7, -0.3, 2.2])
+        u1 = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, gradient=False).velocity
+        u2 = biot_savart_direct(tgt + shift, src + shift, ch, KERNEL, SIGMA,
+                                gradient=False).velocity
+        assert np.allclose(u1, u2, atol=1e-12)
+
+    def test_rotation_equivariance(self, rng):
+        from scipy.spatial.transform import Rotation
+
+        rot = Rotation.from_euler("xyz", [0.3, -0.7, 1.1]).as_matrix()
+        src = rng.normal(size=(15, 3))
+        ch = rng.normal(size=(15, 3))
+        tgt = rng.normal(size=(4, 3))
+        u = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, gradient=False).velocity
+        u_rot = biot_savart_direct(
+            tgt @ rot.T, src @ rot.T, ch @ rot.T, KERNEL, SIGMA,
+            gradient=False,
+        ).velocity
+        assert np.allclose(u_rot, u @ rot.T, atol=1e-10)
+
+
+class TestGradient:
+    def test_matches_finite_differences(self, rng):
+        src = rng.normal(size=(25, 3))
+        ch = rng.normal(size=(25, 3))
+        point = np.array([[0.25, -0.1, 0.4]])
+        out = biot_savart_direct(point, src, ch, KERNEL, SIGMA)
+        fd = _finite_difference_gradient(point, src, ch)
+        assert np.allclose(out.gradient[0], fd, atol=1e-6)
+
+    def test_velocity_is_divergence_free(self, rng):
+        src = rng.normal(size=(25, 3))
+        ch = rng.normal(size=(25, 3))
+        tgt = rng.normal(size=(10, 3))
+        out = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA)
+        traces = np.trace(out.gradient, axis1=1, axis2=2)
+        assert np.allclose(traces, 0.0, atol=1e-12)
+
+    def test_gradient_none_when_not_requested(self, rng):
+        out = biot_savart_direct(
+            rng.normal(size=(3, 3)), rng.normal(size=(3, 3)),
+            rng.normal(size=(3, 3)), KERNEL, SIGMA, gradient=False,
+        )
+        assert out.gradient is None
+
+    def test_stretching_requires_gradient(self, rng):
+        out = biot_savart_direct(
+            rng.normal(size=(3, 3)), rng.normal(size=(3, 3)),
+            rng.normal(size=(3, 3)), KERNEL, SIGMA, gradient=False,
+        )
+        with pytest.raises(ValueError, match="gradient"):
+            out.stretching(rng.normal(size=(3, 3)))
+
+    def test_self_gradient_term(self):
+        """A single particle's field gradient at its center is F(0) E(alpha)."""
+        src = np.array([[0.0, 0.0, 0.0]])
+        ch = np.array([[0.0, 0.0, 2.0]])
+        out = biot_savart_direct(src, src, ch, KERNEL, SIGMA)
+        f0 = KERNEL.f_radial(np.array([0.0]), SIGMA)[0]
+        # E(alpha)_ik = eps_ikm alpha_m for alpha = (0,0,2)
+        expected = -f0 / (4 * np.pi) * np.array(
+            [[0.0, 2.0, 0.0], [-2.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+        )
+        assert np.allclose(out.gradient[0], expected)
+
+    def test_exclude_zero_removes_self_term(self):
+        src = np.array([[0.0, 0.0, 0.0]])
+        ch = np.array([[0.0, 0.0, 2.0]])
+        out = biot_savart_direct(src, src, ch, KERNEL, SIGMA, exclude_zero=True)
+        assert np.allclose(out.gradient[0], 0.0)
+        assert np.allclose(out.velocity, 0.0)
+
+    def test_singular_kernel_with_exclusion_is_finite(self, rng):
+        src = rng.normal(size=(10, 3))
+        ch = rng.normal(size=(10, 3))
+        out = biot_savart_direct(src, src, ch, SingularKernel(), 1.0,
+                                 exclude_zero=True)
+        assert np.all(np.isfinite(out.velocity))
+        assert np.all(np.isfinite(out.gradient))
+
+
+class TestStretchingSchemes:
+    def test_transpose_vs_classical_differ(self, rng):
+        src = rng.normal(size=(20, 3))
+        ch = rng.normal(size=(20, 3))
+        out = biot_savart_direct(src, src, ch, KERNEL, SIGMA)
+        w = rng.normal(size=(20, 3))
+        t = out.stretching(w, "transpose")
+        c = out.stretching(w, "classical")
+        assert not np.allclose(t, c)
+
+    def test_transpose_definition(self, rng):
+        src = rng.normal(size=(5, 3))
+        ch = rng.normal(size=(5, 3))
+        out = biot_savart_direct(src, src, ch, KERNEL, SIGMA)
+        w = rng.normal(size=(5, 3))
+        expected = np.einsum("nji,nj->ni", out.gradient, w)
+        assert np.allclose(out.stretching(w, "transpose"), expected)
+
+    def test_unknown_scheme_raises(self, rng):
+        src = rng.normal(size=(2, 3))
+        out = biot_savart_direct(src, src, np.ones((2, 3)), KERNEL, SIGMA)
+        with pytest.raises(ValueError, match="unknown stretching"):
+            out.stretching(np.ones((2, 3)), "bogus")
+
+    def test_stretching_rhs_shape(self, rng):
+        x = rng.normal(size=(8, 3))
+        w = rng.normal(size=(8, 3))
+        vol = np.abs(rng.normal(size=8)) + 0.1
+        out = stretching_rhs(x, w, vol, KERNEL, SIGMA)
+        assert out.shape == (2, 8, 3)
+
+    def test_stretching_rhs_velocity_component(self, rng):
+        x = rng.normal(size=(8, 3))
+        w = rng.normal(size=(8, 3))
+        vol = np.abs(rng.normal(size=8)) + 0.1
+        out = stretching_rhs(x, w, vol, KERNEL, SIGMA)
+        field = biot_savart_direct(x, x, w * vol[:, None], KERNEL, SIGMA,
+                                   gradient=False)
+        assert np.allclose(out[0], field.velocity)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=arrays(np.float64, (6, 3),
+                elements=st.floats(-2, 2, allow_nan=False)),
+)
+def test_velocity_antisymmetric_under_charge_negation(data):
+    """u(-alpha) = -u(alpha): the field is linear in the charges."""
+    src = data + np.arange(6)[:, None] * 0.01  # avoid exact coincidences
+    ch = np.roll(data, 1, axis=0)
+    tgt = np.array([[3.0, 3.0, 3.0]])
+    u_pos = biot_savart_direct(tgt, src, ch, KERNEL, SIGMA, gradient=False).velocity
+    u_neg = biot_savart_direct(tgt, src, -ch, KERNEL, SIGMA, gradient=False).velocity
+    assert np.allclose(u_pos, -u_neg, atol=1e-12)

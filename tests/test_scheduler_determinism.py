@@ -1,0 +1,93 @@
+"""Determinism and reproducibility guarantees of the simulated MPI."""
+
+import numpy as np
+
+from repro.parallel import CommCostModel, Scheduler, allreduce
+from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
+
+
+class TestSchedulerDeterminism:
+    def test_identical_runs_identical_clocks(self):
+        """Modelled-cost runs are bit-reproducible."""
+        def prog(comm):
+            if comm.rank > 0:
+                _ = yield comm.recv(comm.rank - 1, "x")
+            yield comm.work(0.1 * (comm.rank + 1))
+            if comm.rank < comm.size - 1:
+                yield comm.send(comm.rank + 1, "x", comm.rank)
+            total = yield from allreduce(comm, comm.rank)
+            return total
+
+        runs = []
+        for _ in range(2):
+            s = Scheduler(5, measure_compute=False)
+            res = s.run(prog)
+            runs.append((res, list(s.clocks)))
+        assert runs[0] == runs[1]
+
+    def test_numerics_independent_of_cost_model(self, scalar_problem):
+        """Changing latency/bandwidth must never change PFASST results."""
+        u0 = np.array([1.0])
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=4, iterations=3)
+        specs = [
+            LevelSpec(scalar_problem, 3, 1),
+            LevelSpec(scalar_problem, 2, 2),
+        ]
+        outs = []
+        for model in (
+            CommCostModel(),
+            CommCostModel(latency=1.0, bandwidth=10.0, send_overhead=0.5),
+        ):
+            res = run_pfasst(cfg, specs, u0, p_time=4, cost_model=model)
+            outs.append(res.u_end.copy())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_numerics_independent_of_measure_compute(self, scalar_problem):
+        u0 = np.array([1.0])
+        cfg = PfasstConfig(t0=0.0, t_end=1.0, n_steps=2, iterations=2)
+        specs = [
+            LevelSpec(scalar_problem, 3, 1),
+            LevelSpec(scalar_problem, 2, 2),
+        ]
+        a = run_pfasst(cfg, specs, u0, p_time=2, measure_compute=False)
+        b = run_pfasst(cfg, specs, u0, p_time=2, measure_compute=True)
+        assert np.array_equal(a.u_end, b.u_end)
+
+    def test_clock_monotone_along_causality(self):
+        """A message's receive completion never precedes its send."""
+        sends = {}
+        recvs = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.work(0.3)
+                sends[0] = comm.clock
+                yield comm.send(1, "x", 42)
+            else:
+                _ = yield comm.recv(0, "x")
+                recvs[1] = comm.clock
+
+        s = Scheduler(2, measure_compute=False)
+        s.run(prog)
+        assert recvs[1] >= sends[0]
+
+    def test_latency_scale_shifts_makespan_linearly(self):
+        def prog(comm):
+            for k in range(5):
+                if comm.rank == 0:
+                    yield comm.send(1, ("x", k), k)
+                else:
+                    _ = yield comm.recv(0, ("x", k))
+
+        makespans = []
+        for lat in (1.0, 2.0):
+            s = Scheduler(
+                2,
+                cost_model=CommCostModel(latency=lat, bandwidth=1e30,
+                                         send_overhead=0.0),
+                measure_compute=False,
+            )
+            s.run(prog)
+            makespans.append(s.makespan)
+        # messages overlap (eager sends), so makespan = latency of last
+        assert makespans[1] == 2 * makespans[0]

@@ -1,0 +1,90 @@
+"""Tests for collocation node families."""
+
+import numpy as np
+import pytest
+
+from repro.sdc.nodes import available_node_types, collocation_nodes
+
+
+class TestFamilies:
+    def test_available(self):
+        assert set(available_node_types()) == {
+            "lobatto", "radau-right", "legendre", "equidistant",
+        }
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown node type"):
+            collocation_nodes(3, "chebyshev")
+
+    @pytest.mark.parametrize("family", available_node_types())
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7])
+    def test_sorted_in_unit_interval(self, family, n):
+        if family in ("radau-right", "legendre") and n < 2:
+            pytest.skip("not applicable")
+        ns = collocation_nodes(n, family)
+        assert ns.num_nodes == n
+        assert np.all(np.diff(ns.nodes) > 0)
+        assert ns.nodes[0] >= 0.0
+        assert ns.nodes[-1] <= 1.0
+
+    def test_lobatto_3_exact(self):
+        assert np.allclose(collocation_nodes(3).nodes, [0.0, 0.5, 1.0])
+
+    def test_lobatto_2_exact(self):
+        assert np.allclose(collocation_nodes(2).nodes, [0.0, 1.0])
+
+    def test_lobatto_endpoint_flags(self):
+        ns = collocation_nodes(4, "lobatto")
+        assert ns.includes_left and ns.includes_right
+        assert ns.nodes[0] == 0.0 and ns.nodes[-1] == 1.0
+
+    def test_radau_right_includes_only_right(self):
+        ns = collocation_nodes(3, "radau-right")
+        assert not ns.includes_left
+        assert ns.includes_right
+        assert ns.nodes[-1] == 1.0
+        assert ns.nodes[0] > 0.0
+
+    def test_legendre_excludes_endpoints(self):
+        ns = collocation_nodes(4, "legendre")
+        assert not ns.includes_left and not ns.includes_right
+        assert ns.nodes[0] > 0.0 and ns.nodes[-1] < 1.0
+
+    def test_legendre_matches_leggauss(self):
+        ns = collocation_nodes(5, "legendre")
+        ref = 0.5 * (np.polynomial.legendre.leggauss(5)[0] + 1.0)
+        assert np.allclose(ns.nodes, ref)
+
+    def test_equidistant(self):
+        assert np.allclose(
+            collocation_nodes(5, "equidistant").nodes, np.linspace(0, 1, 5)
+        )
+
+    def test_lobatto_nesting_3_in_5(self):
+        """Paper: coarse nodes chosen as a subset of the fine nodes."""
+        fine = collocation_nodes(5, "lobatto").nodes
+        coarse = collocation_nodes(3, "lobatto").nodes
+        for c in coarse:
+            assert np.min(np.abs(fine - c)) < 1e-12
+
+    def test_lobatto_2_nested_in_3(self):
+        fine = collocation_nodes(3, "lobatto").nodes
+        coarse = collocation_nodes(2, "lobatto").nodes
+        for c in coarse:
+            assert np.min(np.abs(fine - c)) < 1e-12
+
+    def test_symmetry_of_lobatto(self):
+        nodes = collocation_nodes(6, "lobatto").nodes
+        assert np.allclose(nodes + nodes[::-1], 1.0)
+
+    def test_minimum_counts(self):
+        with pytest.raises(ValueError):
+            collocation_nodes(1, "lobatto")
+        with pytest.raises(ValueError):
+            collocation_nodes(1, "equidistant")
+
+    def test_order_metadata(self):
+        assert collocation_nodes(3, "lobatto").order == 4
+        assert collocation_nodes(3, "radau-right").order == 5
+        assert collocation_nodes(3, "legendre").order == 6
+        assert collocation_nodes(3, "equidistant").order == 3

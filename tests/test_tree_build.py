@@ -1,0 +1,129 @@
+"""Tests for oct-tree construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tree.build import build_octree
+
+
+class TestStructure:
+    def test_root_covers_everything(self, rng):
+        pts = rng.random((500, 3))
+        tree = build_octree(pts, leaf_size=16)
+        assert tree.node_start[0] == 0
+        assert tree.node_end[0] == 500
+
+    def test_validate_passes(self, rng):
+        tree = build_octree(rng.random((800, 3)), leaf_size=8)
+        tree.validate()
+
+    def test_leaves_partition_particles(self, rng):
+        tree = build_octree(rng.random((700, 3)), leaf_size=10)
+        leaves = tree.leaves()
+        counts = tree.node_count(leaves)
+        assert counts.sum() == 700
+        # leaf ranges must be disjoint
+        starts = np.sort(tree.node_start[leaves])
+        ends = np.sort(tree.node_end[leaves])
+        assert np.all(starts[1:] >= ends[:-1])
+
+    def test_leaf_size_respected(self, rng):
+        tree = build_octree(rng.random((1000, 3)), leaf_size=20)
+        assert tree.node_count(tree.leaves()).max() <= 20
+
+    def test_single_particle(self):
+        tree = build_octree(np.array([[0.5, 0.5, 0.5]]))
+        assert tree.n_nodes == 1
+        assert tree.is_leaf(0)
+
+    def test_zero_particles_rejected(self):
+        with pytest.raises(ValueError, match="zero particles"):
+            build_octree(np.zeros((0, 3)))
+
+    def test_bad_leaf_size(self, rng):
+        with pytest.raises(ValueError, match="leaf_size"):
+            build_octree(rng.random((5, 3)), leaf_size=0)
+
+    def test_order_is_permutation(self, rng):
+        tree = build_octree(rng.random((321, 3)))
+        assert np.array_equal(np.sort(tree.order), np.arange(321))
+
+    def test_positions_are_reordered_originals(self, rng):
+        pts = rng.random((100, 3))
+        tree = build_octree(pts)
+        assert np.allclose(tree.positions, pts[tree.order])
+
+    def test_particles_of_leaf(self, rng):
+        pts = rng.random((100, 3))
+        tree = build_octree(pts, leaf_size=8)
+        leaf = tree.leaves()[0]
+        idx = tree.particles_of(leaf)
+        c = tree.node_center[leaf]
+        s = tree.node_size[leaf]
+        assert np.all(np.abs(pts[idx] - c) <= s / 2 + 1e-9)
+
+    def test_levels_contiguous(self, rng):
+        tree = build_octree(rng.random((500, 3)), leaf_size=8)
+        for lvl in range(tree.n_levels):
+            lo, hi = tree.level_offsets[lvl], tree.level_offsets[lvl + 1]
+            assert np.all(tree.node_level[lo:hi] == lvl)
+
+    def test_children_geometry_nested(self, rng):
+        tree = build_octree(rng.random((500, 3)), leaf_size=8)
+        for node in range(tree.n_nodes):
+            for kid in tree.children(node):
+                assert tree.node_size[kid] == pytest.approx(
+                    tree.node_size[node] / 2
+                )
+                # child center inside parent cell
+                assert np.all(
+                    np.abs(tree.node_center[kid] - tree.node_center[node])
+                    <= tree.node_size[node] / 2
+                )
+
+
+class TestDegenerateInputs:
+    def test_all_identical_points(self):
+        pts = np.tile([[0.3, 0.3, 0.3]], (50, 1))
+        tree = build_octree(pts, leaf_size=4)
+        tree.validate()
+        # cannot split identical keys: one leaf holds everything
+        assert tree.node_count(tree.leaves()).max() == 50
+
+    def test_two_tight_clusters(self, rng):
+        pts = np.concatenate([
+            rng.normal(0.0, 1e-6, (100, 3)),
+            rng.normal(1.0, 1e-6, (100, 3)),
+        ])
+        tree = build_octree(pts, leaf_size=8)
+        tree.validate()
+        assert tree.node_count(tree.leaves()).sum() == 200
+
+    def test_collinear_points(self):
+        x = np.linspace(0, 1, 200)
+        pts = np.column_stack([x, np.zeros(200), np.zeros(200)])
+        tree = build_octree(pts, leaf_size=10)
+        tree.validate()
+
+    def test_large_coordinates(self, rng):
+        pts = rng.random((100, 3)) * 1e8 + 1e9
+        tree = build_octree(pts, leaf_size=8)
+        tree.validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pts=arrays(
+        np.float64, st.tuples(st.integers(1, 300), st.just(3)),
+        elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    ),
+    leaf_size=st.integers(1, 32),
+)
+def test_build_invariants_property(pts, leaf_size):
+    tree = build_octree(pts, leaf_size=leaf_size)
+    tree.validate()
+    leaves = tree.leaves()
+    assert tree.node_count(leaves).sum() == pts.shape[0]
+    assert np.array_equal(np.sort(tree.order), np.arange(pts.shape[0]))

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_in,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestScalarChecks:
+    def test_positive_passes(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", value)
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestCheckArray:
+    def test_shape_match(self):
+        arr = check_array("a", np.zeros((4, 3)), shape=(None, 3))
+        assert arr.shape == (4, 3)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="ndim"):
+            check_array("a", np.zeros(4), shape=(None, 3))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_array("a", np.zeros((4, 2)), shape=(None, 3))
+
+    def test_dtype_conversion(self):
+        arr = check_array("a", [[1, 2, 3]], shape=(None, 3), dtype=np.float64)
+        assert arr.dtype == np.float64
+
+    def test_finite_check(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array("a", np.array([np.nan]), finite=True)
+
+    def test_finite_passes(self):
+        check_array("a", np.array([1.0, 2.0]), finite=True)
