@@ -80,14 +80,9 @@ def _problems(scale: SpeedupScale):
         scale.n_particles, evaluator="tree", theta=scale.theta_fine,
         leaf_size=scale.leaf_size, sigma_over_h=scale.sigma_over_h,
     )
-    from repro.tree import TreeEvaluator
-    from repro.vortex import get_kernel
-
-    coarse_eval = TreeEvaluator(
-        get_kernel("algebraic6"), cfg.sigma, theta=scale.theta_coarse,
-        leaf_size=scale.leaf_size,
-    )
-    coarse_problem = fine_problem.with_evaluator(coarse_eval)
+    # the coarse evaluator shares the fine tree-state cache (one tree +
+    # moment pass per configuration, theta-specific traversals only)
+    coarse_problem = fine_problem.coarsened(theta=scale.theta_coarse)
     return fine_problem, coarse_problem, u0
 
 

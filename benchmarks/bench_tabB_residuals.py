@@ -21,8 +21,6 @@ import pytest
 
 from common import format_table, sheet_problem
 from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
-from repro.tree import TreeEvaluator
-from repro.vortex import get_kernel
 
 N_CI, N_PAPER = 600, 125_000
 LARGE_PT_CI, LARGE_PT_PAPER = 8, 32
@@ -34,9 +32,8 @@ def run_residuals(n: int, p_time: int, theta_coarse: float,
     fine_problem, u0, cfg = sheet_problem(
         n, evaluator="tree", theta=0.3, sigma_over_h=sigma_over_h
     )
-    coarse_eval = TreeEvaluator(get_kernel("algebraic6"), cfg.sigma,
-                                theta=theta_coarse, leaf_size=48)
-    coarse_problem = fine_problem.with_evaluator(coarse_eval)
+    # coarse level shares the fine tree-state cache (theta-coarsening only)
+    coarse_problem = fine_problem.coarsened(theta=theta_coarse)
     config = PfasstConfig(t0=0.0, t_end=0.5 * p_time, n_steps=p_time,
                           iterations=2)
     specs = [
@@ -85,9 +82,7 @@ def test_large_pt_still_converges(residuals):
 def test_benchmark_pfasst22_two_slices(benchmark):
     fine_problem, u0, cfg = sheet_problem(N_CI, evaluator="tree",
                                           theta=0.3)
-    coarse_eval = TreeEvaluator(get_kernel("algebraic6"), cfg.sigma,
-                                theta=0.6, leaf_size=48)
-    coarse_problem = fine_problem.with_evaluator(coarse_eval)
+    coarse_problem = fine_problem.coarsened(theta=0.6)
     config = PfasstConfig(t0=0.0, t_end=1.0, n_steps=2, iterations=2)
     specs = [
         LevelSpec(fine_problem, num_nodes=3, sweeps=1),

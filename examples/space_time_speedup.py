@@ -39,7 +39,9 @@ def main() -> None:
     particles = spherical_vortex_sheet(sheet)
     kernel = get_kernel("algebraic6")
     fine_eval = TreeEvaluator(kernel, sheet.sigma, theta=0.3, leaf_size=48)
-    coarse_eval = TreeEvaluator(kernel, sheet.sigma, theta=0.6, leaf_size=48)
+    # shares the fine evaluator's tree-state cache: one build + one moment
+    # pass per particle configuration, two theta traversals
+    coarse_eval = fine_eval.coarsened(theta=0.6)
     fine = VortexProblem(particles.volumes, fine_eval)
     coarse = fine.with_evaluator(coarse_eval)
     u0 = particles.state()

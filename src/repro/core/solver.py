@@ -69,7 +69,16 @@ class SpaceTimeSolver:
         self.sigma = float(sigma)
         self.config = config or SolverConfig()
         self.fine_evaluator = self._make_evaluator(self.config.space.theta)
-        self.coarse_evaluator = self._make_evaluator(self.config.space.theta_coarse)
+        if isinstance(self.fine_evaluator, TreeEvaluator):
+            # the theta pair shares one tree-state cache: one build + one
+            # moment pass per particle configuration, two traversals
+            self.coarse_evaluator = self.fine_evaluator.coarsened(
+                self.config.space.theta_coarse
+            )
+        else:
+            self.coarse_evaluator = self._make_evaluator(
+                self.config.space.theta_coarse
+            )
         self.problem = VortexProblem(
             particles.volumes, self.fine_evaluator, self.config.space.stretching
         )

@@ -17,7 +17,39 @@ from repro.utils.chunking import chunk_pairs_budget, chunk_ranges
 from repro.utils.validation import check_array, check_positive
 from repro.vortex.kernels import SingularKernel, SmoothingKernel
 
-__all__ = ["coulomb_direct", "gravity_direct"]
+__all__ = ["coulomb_direct", "coulomb_pairs", "gravity_direct"]
+
+
+def coulomb_pairs(
+    targets: np.ndarray,
+    sources: np.ndarray,
+    charges: np.ndarray,
+    kernel: Optional[SmoothingKernel] = None,
+    sigma: float = 1.0,
+    exclude_zero: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-pair Coulomb contributions of P (target, source) pairs.
+
+    All arrays are aligned on axis 0: pair ``p`` is the interaction of
+    ``targets[p]`` with the single source ``(sources[p], charges[p])``.
+    Returns *unsummed* potential (P,) and field (P, 3) contributions for
+    the batched tree engine to scatter-add; same conventions and
+    zero-distance handling as :func:`coulomb_direct`.
+    """
+    kernel = kernel or SingularKernel()
+    r = targets - sources  # (P, 3)
+    r2 = np.einsum("pk,pk->p", r, r)
+    if exclude_zero:
+        zero = r2 == 0.0
+        r2 = np.where(zero, 1.0, r2)
+    d0 = potential_profile(kernel, r2, sigma)
+    (d1,) = radial_chain(kernel, r2, sigma, 1)
+    if exclude_zero:
+        d0 = np.where(zero, 0.0, d0)
+        d1 = np.where(zero, 0.0, d1)
+    phi = d0 * charges
+    field = -(d1 * charges)[:, None] * r
+    return phi, field
 
 
 def coulomb_direct(

@@ -96,6 +96,10 @@ class PfasstResult:
     iterations_done: List[int] = field(default_factory=list)
     #: annotated schedule events when ``config.trace`` was set
     trace: List[Any] = field(default_factory=list)
+    #: per-level evaluator bookkeeping (RHS calls, tree-cache hit/miss
+    #: counters) sampled from the level specs after the run; empty dicts
+    #: for problems without an instrumented evaluator
+    evaluator_stats: List[Dict[str, int]] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -327,6 +331,29 @@ def _evaluate_all(level: Level, t_slice: float, dt: float) -> np.ndarray:
     )
 
 
+def _collect_evaluator_stats(
+    specs: Sequence[LevelSpec],
+) -> List[Dict[str, int]]:
+    """RHS-call counts and tree-cache counters per level spec.
+
+    Note that ``run_pfasst`` instantiates one :class:`Level` hierarchy per
+    rank program around the *shared* spec problems, so the counters
+    aggregate over all ranks — which is exactly the total-work view the
+    benchmarks need.
+    """
+    out: List[Dict[str, int]] = []
+    for spec in specs:
+        entry: Dict[str, int] = {}
+        evaluator = getattr(spec.problem, "evaluator", None)
+        if evaluator is not None:
+            entry["calls"] = int(getattr(evaluator, "calls", 0))
+            cache_stats = getattr(evaluator, "cache_stats", None)
+            if cache_stats is not None:
+                entry.update(cache_stats.as_dict())
+        out.append(entry)
+    return out
+
+
 def run_pfasst(
     config: PfasstConfig,
     specs: Sequence[LevelSpec],
@@ -357,4 +384,5 @@ def run_pfasst(
         clocks=list(scheduler.clocks),
         iterations_done=by_rank[0]["iterations_done"],
         trace=list(scheduler.trace),
+        evaluator_stats=_collect_evaluator_stats(specs),
     )

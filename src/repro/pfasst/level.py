@@ -71,6 +71,16 @@ class Level:
         return self.spec.problem
 
     @property
+    def evaluator(self):
+        """The problem's field evaluator, if it has one (else ``None``)."""
+        return getattr(self.spec.problem, "evaluator", None)
+
+    @property
+    def timings(self):
+        """This level's sweep-phase :class:`~repro.utils.timing.TimingRegistry`."""
+        return self.sweeper.timings
+
+    @property
     def end_value(self) -> np.ndarray:
         """Solution at the right edge of the slice."""
         if self.U is None or self.F is None or self.u0 is None:

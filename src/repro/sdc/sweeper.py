@@ -23,6 +23,7 @@ from typing import Literal, Optional, Tuple
 import numpy as np
 
 from repro.sdc.quadrature import QuadratureRule
+from repro.utils.timing import TimingRegistry
 from repro.vortex.problem import ODEProblem
 
 __all__ = ["ExplicitSDCSweeper"]
@@ -36,6 +37,8 @@ class ExplicitSDCSweeper:
     The sweeper is stateless with respect to the solution: callers own the
     node arrays and thread them through :meth:`initialize` / :meth:`sweep`;
     this makes the PFASST controller's bookkeeping explicit and testable.
+    Wall-clock per phase (``initialize`` / ``sweep`` / ``residual``)
+    accumulates in :attr:`timings` for the benchmark breakdowns.
     """
 
     def __init__(self, problem: ODEProblem, rule: QuadratureRule) -> None:
@@ -46,6 +49,7 @@ class ExplicitSDCSweeper:
             )
         self.problem = problem
         self.rule = rule
+        self.timings = TimingRegistry()
 
     @property
     def num_nodes(self) -> int:
@@ -68,24 +72,25 @@ class ExplicitSDCSweeper:
         ``spread`` copies ``u0`` to every node (one RHS evaluation);
         ``euler`` marches forward Euler through the nodes (M+1 evaluations).
         """
-        m1 = self.num_nodes
-        times = self.node_times(t0, dt)
-        U = np.empty((m1,) + u0.shape, dtype=np.float64)
-        F = np.empty_like(U)
-        U[0] = u0
-        F[0] = self.problem.rhs(times[0], u0)
-        if strategy == "spread":
-            for m in range(1, m1):
-                U[m] = u0
-                F[m] = F[0]
-        elif strategy == "euler":
-            delta = dt * self.rule.delta
-            for m in range(1, m1):
-                U[m] = U[m - 1] + delta[m - 1] * F[m - 1]
-                F[m] = self.problem.rhs(times[m], U[m])
-        else:
-            raise ValueError(f"unknown init strategy {strategy!r}")
-        return U, F
+        with self.timings.phase("initialize"):
+            m1 = self.num_nodes
+            times = self.node_times(t0, dt)
+            U = np.empty((m1,) + u0.shape, dtype=np.float64)
+            F = np.empty_like(U)
+            U[0] = u0
+            F[0] = self.problem.rhs(times[0], u0)
+            if strategy == "spread":
+                for m in range(1, m1):
+                    U[m] = u0
+                    F[m] = F[0]
+            elif strategy == "euler":
+                delta = dt * self.rule.delta
+                for m in range(1, m1):
+                    U[m] = U[m - 1] + delta[m - 1] * F[m - 1]
+                    F[m] = self.problem.rhs(times[m], U[m])
+            else:
+                raise ValueError(f"unknown init strategy {strategy!r}")
+            return U, F
 
     # ------------------------------------------------------------------
     def sweep(
@@ -103,29 +108,30 @@ class ExplicitSDCSweeper:
         freshly received left-boundary value here); when omitted, ``U[0]``
         is kept and its evaluation ``F[0]`` is reused.
         """
-        m1 = self.num_nodes
-        times = self.node_times(t0, dt)
-        delta = dt * self.rule.delta
-        integral = dt * self.rule.integrate_node_to_node(F)
-        if tau is not None:
-            integral = integral + tau
+        with self.timings.phase("sweep"):
+            m1 = self.num_nodes
+            times = self.node_times(t0, dt)
+            delta = dt * self.rule.delta
+            integral = dt * self.rule.integrate_node_to_node(F)
+            if tau is not None:
+                integral = integral + tau
 
-        U_new = np.empty_like(U)
-        F_new = np.empty_like(F)
-        if u0 is None:
-            U_new[0] = U[0]
-            F_new[0] = F[0]
-        else:
-            U_new[0] = u0
-            F_new[0] = self.problem.rhs(times[0], u0)
-        for m in range(m1 - 1):
-            U_new[m + 1] = (
-                U_new[m]
-                + delta[m] * (F_new[m] - F[m])
-                + integral[m + 1]
-            )
-            F_new[m + 1] = self.problem.rhs(times[m + 1], U_new[m + 1])
-        return U_new, F_new
+            U_new = np.empty_like(U)
+            F_new = np.empty_like(F)
+            if u0 is None:
+                U_new[0] = U[0]
+                F_new[0] = F[0]
+            else:
+                U_new[0] = u0
+                F_new[0] = self.problem.rhs(times[0], u0)
+            for m in range(m1 - 1):
+                U_new[m + 1] = (
+                    U_new[m]
+                    + delta[m] * (F_new[m] - F[m])
+                    + integral[m + 1]
+                )
+                F_new[m + 1] = self.problem.rhs(times[m + 1], U_new[m + 1])
+            return U_new, F_new
 
     # ------------------------------------------------------------------
     def residual(
@@ -141,13 +147,14 @@ class ExplicitSDCSweeper:
         This is the discrete analogue of the Picard equation (paper Eq. 12)
         and the convergence monitor the paper reports in Sec. IV-B.
         """
-        rhs = dt * self.rule.integrate_from_start(F)
-        if tau is not None:
-            rhs = rhs + np.cumsum(tau, axis=0)
-        res = 0.0
-        for m in range(1, self.num_nodes):
-            res = max(res, self.problem.norm(u0 + rhs[m] - U[m]))
-        return res
+        with self.timings.phase("residual"):
+            rhs = dt * self.rule.integrate_from_start(F)
+            if tau is not None:
+                rhs = rhs + np.cumsum(tau, axis=0)
+            res = 0.0
+            for m in range(1, self.num_nodes):
+                res = max(res, self.problem.norm(u0 + rhs[m] - U[m]))
+            return res
 
     def end_value(
         self, dt: float, U: np.ndarray, F: np.ndarray, u0: np.ndarray

@@ -24,9 +24,26 @@ from repro.tree.profiles import (
     potential_profile,
     supports_multipoles,
 )
-from repro.tree.mac import MACVariant, mac_accept
+from repro.tree.mac import MACVariant, mac_accept, mac_accept_sq
 from repro.tree.traversal import InteractionLists, dual_traversal
-from repro.tree.evaluate import evaluate_vortex_far, evaluate_coulomb_far
+from repro.tree.evaluate import (
+    evaluate_vortex_far,
+    evaluate_coulomb_far,
+    evaluate_vortex_far_pairs,
+    evaluate_coulomb_far_pairs,
+)
+from repro.tree.state import (
+    CacheStats,
+    TreeState,
+    TreeStateCache,
+    array_fingerprint,
+)
+from repro.tree.engine import (
+    SegmentLayout,
+    TraversalLayout,
+    build_traversal_layout,
+    segment_layout,
+)
 from repro.tree.evaluator import TreeStats, TreeEvaluator, TreeCoulombSolver
 from repro.tree.multirate import MultirateTreeEvaluator
 from repro.tree.domain import (
@@ -59,10 +76,21 @@ __all__ = [
     "supports_multipoles",
     "MACVariant",
     "mac_accept",
+    "mac_accept_sq",
     "InteractionLists",
     "dual_traversal",
     "evaluate_vortex_far",
     "evaluate_coulomb_far",
+    "evaluate_vortex_far_pairs",
+    "evaluate_coulomb_far_pairs",
+    "CacheStats",
+    "TreeState",
+    "TreeStateCache",
+    "array_fingerprint",
+    "SegmentLayout",
+    "TraversalLayout",
+    "build_traversal_layout",
+    "segment_layout",
     "TreeStats",
     "TreeEvaluator",
     "TreeCoulombSolver",

@@ -33,7 +33,12 @@ import numpy as np
 from repro.tree.profiles import radial_chain
 from repro.vortex.kernels import SmoothingKernel
 
-__all__ = ["evaluate_vortex_far", "evaluate_coulomb_far"]
+__all__ = [
+    "evaluate_vortex_far",
+    "evaluate_coulomb_far",
+    "evaluate_vortex_far_pairs",
+    "evaluate_coulomb_far_pairs",
+]
 
 
 def _vec_antisym(mat: np.ndarray) -> np.ndarray:
@@ -62,18 +67,165 @@ def _eps_matrix(vec: np.ndarray) -> np.ndarray:
 
 def _cross_matrix(r: np.ndarray, mat: np.ndarray) -> np.ndarray:
     """``(r X B)_ad = eps_abc r_b B_cd`` for (..., 3) and (..., 3, 3)."""
+    out = np.zeros(mat.shape, dtype=np.float64)
+    _cross_matrix_add(out, r, mat)
+    return out
+
+
+def _cross_matrix_add(out: np.ndarray, r: np.ndarray, mat: np.ndarray) -> None:
+    """Accumulate ``(r X B)_ad = eps_abc r_b B_cd`` onto ``out`` in place."""
     r1, r2, r3 = r[..., 0], r[..., 1], r[..., 2]
-    out = np.empty(mat.shape, dtype=np.float64)
-    out[..., 0, :] = (
+    out[..., 0, :] += (
         r2[..., None] * mat[..., 2, :] - r3[..., None] * mat[..., 1, :]
     )
-    out[..., 1, :] = (
+    out[..., 1, :] += (
         r3[..., None] * mat[..., 0, :] - r1[..., None] * mat[..., 2, :]
     )
-    out[..., 2, :] = (
+    out[..., 2, :] += (
         r1[..., None] * mat[..., 1, :] - r2[..., None] * mat[..., 0, :]
     )
+
+
+def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a x b`` for (..., 3) arrays, without :func:`np.cross` overhead."""
+    out = np.empty(np.broadcast_shapes(a.shape, b.shape), dtype=np.float64)
+    out[..., 0] = a[..., 1] * b[..., 2] - a[..., 2] * b[..., 1]
+    out[..., 1] = a[..., 2] * b[..., 0] - a[..., 0] * b[..., 2]
+    out[..., 2] = a[..., 0] * b[..., 1] - a[..., 1] * b[..., 0]
     return out
+
+
+def _eps_add(out: np.ndarray, vec: np.ndarray) -> None:
+    """Accumulate ``E(x)_ad = eps_adm x_m`` onto ``out`` (..., 3, 3)."""
+    out[..., 0, 1] += vec[..., 2]
+    out[..., 0, 2] -= vec[..., 1]
+    out[..., 1, 0] -= vec[..., 2]
+    out[..., 1, 2] += vec[..., 0]
+    out[..., 2, 0] += vec[..., 1]
+    out[..., 2, 1] -= vec[..., 0]
+
+
+def evaluate_vortex_far_pairs(
+    targets: np.ndarray,
+    centers: np.ndarray,
+    m0: np.ndarray,
+    m1: Optional[np.ndarray],
+    m2: Optional[np.ndarray],
+    kernel: SmoothingKernel,
+    sigma: float,
+    order: int = 2,
+    gradient: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-pair far-field contributions of P (particle, cluster) pairs.
+
+    All arrays are aligned on axis 0: ``targets[p]`` interacts with the
+    cluster ``(centers[p], m0[p], m1[p], m2[p])``.  Returns the *unsummed*
+    velocity (P, 3) and gradient (P, 3, 3) contributions; the caller
+    scatter-adds them onto the targets (segment sums in the batched
+    engine).  This is the single source of truth for the expansion
+    formulas; :func:`evaluate_vortex_far` wraps it on a (target, cluster)
+    product grid.
+    """
+    if order not in (0, 1, 2):
+        raise ValueError(f"order must be 0, 1 or 2, got {order}")
+    targets = np.asarray(targets, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    p = targets.shape[0]
+    if p == 0:
+        return np.zeros((0, 3)), (np.zeros((0, 3, 3)) if gradient else None)
+
+    r = targets - centers  # (P, 3)
+    r2 = np.einsum("pi,pi->p", r, r)
+    # orders needed: velocity uses D1..D(order+1); gradient D1..D(order+2)
+    need = order + (2 if gradient else 1)
+    chain = radial_chain(kernel, r2, sigma, need)
+    d1 = chain[0]
+    d2 = chain[1] if need >= 2 else None
+    d3 = chain[2] if need >= 3 else None
+    d4 = chain[3] if need >= 4 else None
+
+    # Every cross product in the docstring formulas shares the same left
+    # factor r, so the expansion collapses to a handful of combined
+    # per-pair vectors:
+    #
+    #   u  = r x cu + su          cu = D1 M0 - D2 w + D3 v + D2 tr
+    #                             su = -D1 vec(M1) + 2 D2 vec(m)
+    #   du = (r x cg + sg) (x) r + E(cu) + r X B + 2 D2 vec2
+    #                             cg = D2 M0 - D3 w + D4 v + D3 tr
+    #                             sg = -D2 vec(M1) + 2 D3 vec(m)
+    #                             B  = -D2 M1 + 2 D3 m
+    #
+    # (the E() argument of the gradient is the same combined vector cu).
+    w = vec1 = m = v = vecm = None
+    cu = d1[:, None] * m0
+    if order >= 1:
+        if m1 is None:
+            raise ValueError("order >= 1 requires m1 moments")
+        w = np.einsum("pcj,pj->pc", m1, r)
+        vec1 = _vec_antisym(m1)  # (P, 3)
+        cu -= d2[:, None] * w
+    if order >= 2:
+        if m2 is None:
+            raise ValueError("order >= 2 requires m2 moments")
+        m = np.einsum("pcbj,pj->pcb", m2, r)  # m_cb = M2_cbk r_k
+        v = np.einsum("pcj,pj->pc", m, r)
+        tr = np.einsum("pcjj->pc", m2)  # (P, 3)
+        vecm = _vec_antisym(m)
+        cu += d3[:, None] * v + d2[:, None] * tr
+
+    u = _cross(r, cu)
+    if order >= 1:
+        u -= d1[:, None] * vec1
+    if order >= 2:
+        u += (2.0 * d2)[:, None] * vecm
+
+    g = None
+    if gradient:
+        cg = d2[:, None] * m0
+        if order >= 1:
+            cg -= d3[:, None] * w
+        if order >= 2:
+            cg += d4[:, None] * v + d3[:, None] * tr
+        left = _cross(r, cg)
+        if order >= 1:
+            left -= d2[:, None] * vec1
+        if order >= 2:
+            left += (2.0 * d3)[:, None] * vecm
+        g = left[:, :, None] * r[:, None, :]
+        _eps_add(g, cu)
+        if order >= 1:
+            b = (-d2)[:, None, None] * m1
+            if order >= 2:
+                b += (2.0 * d3)[:, None, None] * m
+            _cross_matrix_add(g, r, b)
+        if order >= 2:
+            vec2 = np.stack(
+                [
+                    m2[:, 2, 1, :] - m2[:, 1, 2, :],
+                    m2[:, 0, 2, :] - m2[:, 2, 0, :],
+                    m2[:, 1, 0, :] - m2[:, 0, 1, :],
+                ],
+                axis=1,
+            )  # (P, 3, 3): vec2_ad = eps_abc M2_cbd
+            g += (2.0 * d2)[:, None, None] * vec2
+
+    return u, g
+
+
+def _pair_grid(
+    targets: np.ndarray, centers: np.ndarray, *moments: Optional[np.ndarray]
+) -> Tuple[np.ndarray, ...]:
+    """Expand a (P targets) x (K clusters) product onto flat pair arrays."""
+    p, k = targets.shape[0], centers.shape[0]
+    flat_t = np.repeat(targets, k, axis=0)
+    out = [flat_t]
+    for arr in (centers,) + moments:
+        if arr is None:
+            out.append(None)
+        else:
+            tiled = np.broadcast_to(arr[None], (p,) + arr.shape)
+            out.append(tiled.reshape((p * k,) + arr.shape[1:]))
+    return tuple(out)
 
 
 def evaluate_vortex_far(
@@ -90,7 +242,8 @@ def evaluate_vortex_far(
     """Velocity (P, 3) and gradient (P, 3, 3) induced by K clusters.
 
     ``order``: 0 monopole, 1 +dipole, 2 +quadrupole.  ``m1``/``m2`` may be
-    None for lower orders.
+    None for lower orders.  Thin wrapper over
+    :func:`evaluate_vortex_far_pairs` on the full (target, cluster) grid.
     """
     if order not in (0, 1, 2):
         raise ValueError(f"order must be 0, 1 or 2, got {order}")
@@ -101,77 +254,78 @@ def evaluate_vortex_far(
     grad = np.zeros((p, 3, 3)) if gradient else None
     if p == 0 or k == 0:
         return velocity, grad
+    flat_t, flat_c, f0, f1, f2 = _pair_grid(targets, centers, m0, m1, m2)
+    u, g = evaluate_vortex_far_pairs(
+        flat_t, flat_c, f0, f1, f2, kernel, sigma,
+        order=order, gradient=gradient,
+    )
+    velocity = u.reshape(p, k, 3).sum(axis=1)
+    if gradient:
+        grad = g.reshape(p, k, 3, 3).sum(axis=1)
+    return velocity, grad
 
-    r = targets[:, None, :] - centers[None, :, :]  # (P, K, 3)
-    r2 = np.einsum("pki,pki->pk", r, r)
-    # orders needed: velocity uses D1..D(order+1); gradient D1..D(order+2)
-    need = order + (2 if gradient else 1)
+
+def evaluate_coulomb_far_pairs(
+    targets: np.ndarray,
+    centers: np.ndarray,
+    m0: np.ndarray,
+    m1: Optional[np.ndarray],
+    m2: Optional[np.ndarray],
+    kernel: SmoothingKernel,
+    sigma: float,
+    order: int = 2,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-pair potential (P,) and field (P, 3) contributions.
+
+    Pairwise analogue of :func:`evaluate_vortex_far_pairs` for scalar
+    charges; contributions are unsummed.
+    """
+    from repro.tree.profiles import potential_profile
+
+    if order not in (0, 1, 2):
+        raise ValueError(f"order must be 0, 1 or 2, got {order}")
+    targets = np.asarray(targets, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    p = targets.shape[0]
+    if p == 0:
+        return np.zeros(0), np.zeros((0, 3))
+
+    r = targets - centers  # (P, 3)
+    r2 = np.einsum("pi,pi->p", r, r)
+    need = order + 1
+    d0 = potential_profile(kernel, r2, sigma)
     chain = radial_chain(kernel, r2, sigma, need)
     d1 = chain[0]
     d2 = chain[1] if need >= 2 else None
     d3 = chain[2] if need >= 3 else None
-    d4 = chain[3] if need >= 4 else None
 
-    # ---- monopole -----------------------------------------------------
-    c_m0 = np.cross(r, m0[None, :, :])  # (P, K, 3) = r x M0
-    u = d1[..., None] * c_m0
-    if gradient:
-        g = (
-            np.einsum("pk,pka,pkd->pkad", d2, c_m0, r)
-            + d1[..., None, None] * _eps_matrix(m0)[None]
-        )
-
-    # ---- dipole -------------------------------------------------------
+    # phi = Q0 T0 - Q1_j T1_j + Q2_jk T2_jk ; E_d = -d(phi)/d(x_d).
+    # Every term of E parallel to r is folded into one scalar coefficient
+    # before the single (P, 3) broadcast, so the order-2 field costs two
+    # (P, 3) products instead of five.
+    pot = m0 * d0
+    radial = -(d1 * m0)
     if order >= 1:
         if m1 is None:
             raise ValueError("order >= 1 requires m1 moments")
-        w = np.einsum("kcj,pkj->pkc", m1, r)
-        vec1 = _vec_antisym(m1)  # (K, 3)
-        c_w = np.cross(r, w)
-        u = u - d2[..., None] * c_w - d1[..., None] * vec1[None]
-        if gradient:
-            g = g - np.einsum("pk,pka,pkd->pkad", d3, c_w, r)
-            g = g - d2[..., None, None] * (
-                np.einsum("ka,pkd->pkad", vec1, r)
-                + _eps_matrix(w)
-                + _cross_matrix(r, np.broadcast_to(m1[None], (p, k, 3, 3)))
-            )
-
-    # ---- quadrupole ---------------------------------------------------
+        m1r = np.einsum("pj,pj->p", m1, r)
+        pot = pot - d1 * m1r
+        # -d/dx_d [ -Q1_j T1_j ] = +(D2 r_d m1r + D1 Q1_d)
+        radial += d2 * m1r
     if order >= 2:
         if m2 is None:
             raise ValueError("order >= 2 requires m2 moments")
-        m = np.einsum("kcbj,pkj->pkcb", m2, r)  # m_cb = M2_cbk r_k
-        v = np.einsum("pkcj,pkj->pkc", m, r)
-        tr = np.einsum("kcjj->kc", m2)  # (K, 3)
-        vecm = _vec_antisym(m)
-        c_v = np.cross(r, v)
-        c_tr = np.cross(r, np.broadcast_to(tr[None], (p, k, 3)))
-        u = u + d3[..., None] * c_v + d2[..., None] * (2.0 * vecm + c_tr)
-        if gradient:
-            vec2 = np.stack(
-                [
-                    m2[:, 2, 1, :] - m2[:, 1, 2, :],
-                    m2[:, 0, 2, :] - m2[:, 2, 0, :],
-                    m2[:, 1, 0, :] - m2[:, 0, 1, :],
-                ],
-                axis=1,
-            )  # (K, 3, 3): vec2_ad = eps_abc M2_cbd
-            g = g + np.einsum("pk,pka,pkd->pkad", d4, c_v, r)
-            g = g + d3[..., None, None] * (
-                2.0 * np.einsum("pka,pkd->pkad", vecm, r)
-                + _eps_matrix(v)
-                + np.einsum("pka,pkd->pkad", c_tr, r)
-                + 2.0 * _cross_matrix(r, m)
-            )
-            g = g + d2[..., None, None] * (
-                2.0 * vec2[None] + _eps_matrix(tr)[None]
-            )
-
-    velocity = u.sum(axis=1)
-    if gradient:
-        grad = g.sum(axis=1)
-    return velocity, grad
+        m2r = np.einsum("pjl,pl->pj", m2, r)
+        m2rr = np.einsum("pj,pj->p", m2r, r)
+        trq = np.einsum("pjj->p", m2)
+        pot = pot + d2 * m2rr + d1 * trq
+        radial -= d3 * m2rr + d2 * trq
+    e = radial[:, None] * r
+    if order >= 1:
+        e += d1[:, None] * m1
+    if order >= 2:
+        e -= 2.0 * d2[:, None] * m2r
+    return pot, e
 
 
 def evaluate_coulomb_far(
@@ -188,10 +342,9 @@ def evaluate_coulomb_far(
 
     Uses the same radial chain plus the potential profile D0; the
     convention is ``phi = sum_p q_p G(|x - x_p|)`` with ``G ~ 1/(4 pi r)``
-    far away.
+    far away.  Thin wrapper over :func:`evaluate_coulomb_far_pairs` on the
+    full (target, cluster) grid.
     """
-    from repro.tree.profiles import potential_profile
-
     if order not in (0, 1, 2):
         raise ValueError(f"order must be 0, 1 or 2, got {order}")
     targets = np.asarray(targets, dtype=np.float64)
@@ -201,36 +354,8 @@ def evaluate_coulomb_far(
     field = np.zeros((p, 3))
     if p == 0 or k == 0:
         return phi, field
-
-    r = targets[:, None, :] - centers[None, :, :]
-    r2 = np.einsum("pki,pki->pk", r, r)
-    need = order + 1
-    d0 = potential_profile(kernel, r2, sigma)
-    chain = radial_chain(kernel, r2, sigma, need)
-    d1 = chain[0]
-    d2 = chain[1] if need >= 2 else None
-    d3 = chain[2] if need >= 3 else None
-
-    # phi = Q0 T0 - Q1_j T1_j + Q2_jk T2_jk ; E_d = -d(phi)/d(x_d)
-    pot = m0[None, :] * d0
-    e = -np.einsum("pk,k,pkd->pkd", d1, m0, r)
-    if order >= 1:
-        if m1 is None:
-            raise ValueError("order >= 1 requires m1 moments")
-        m1r = np.einsum("kj,pkj->pk", m1, r)
-        pot = pot - d1 * m1r
-        # -d/dx_d [ -Q1_j T1_j ] = +(D2 r_d m1r + D1 Q1_d)
-        e = e + np.einsum("pk,pk,pkd->pkd", d2, m1r, r) + d1[..., None] * m1[None]
-    if order >= 2:
-        if m2 is None:
-            raise ValueError("order >= 2 requires m2 moments")
-        m2r = np.einsum("kjl,pkl->pkj", m2, r)
-        m2rr = np.einsum("pkj,pkj->pk", m2r, r)
-        trq = np.einsum("kjj->k", m2)
-        pot = pot + d2 * m2rr + d1 * trq[None, :]
-        e = e - (
-            np.einsum("pk,pk,pkd->pkd", d3, m2rr, r)
-            + 2.0 * d2[..., None] * m2r
-            + np.einsum("pk,k,pkd->pkd", d2, trq, r)
-        )
-    return pot.sum(axis=1), e.sum(axis=1)
+    flat_t, flat_c, f0, f1, f2 = _pair_grid(targets, centers, m0, m1, m2)
+    pot, e = evaluate_coulomb_far_pairs(
+        flat_t, flat_c, f0, f1, f2, kernel, sigma, order=order
+    )
+    return pot.reshape(p, k).sum(axis=1), e.reshape(p, k, 3).sum(axis=1)

@@ -6,10 +6,23 @@
 group-collective dual traversal, then evaluate far interactions by
 multipole expansion and near interactions by direct summation.
 
+Both summation phases run through the batched engine
+(:mod:`repro.tree.engine`): interaction lists are expanded into flat
+(particle, node) / (particle, particle) pair streams and evaluated in
+memory-budgeted chunks, so Python-level iteration no longer scales with
+the number of target groups.  Tree build, moments and traversal are
+obtained through a :class:`~repro.tree.state.TreeStateCache` keyed by a
+content fingerprint of the particle arrays: repeated RHS evaluations at
+the same state (SDC node-0 re-evaluations, FAS restriction) skip straight
+to the summation phases.
+
 The multipole acceptance parameter ``theta`` controls the accuracy/cost
 trade-off; PFASST's particle-based coarsening (the paper's contribution)
 is simply two ``TreeEvaluator`` instances sharing everything but ``theta``
-(0.3 fine / 0.6 coarse in the paper's runs).
+(0.3 fine / 0.6 coarse in the paper's runs).  Use :meth:`coarsened` to
+derive the coarse evaluator: it shares the fine evaluator's state cache,
+so the pair shares one tree and one moment pass per particle
+configuration and re-runs only its own traversal.
 
 :class:`TreeCoulombSolver` provides the scalar-charge (Coulomb/gravity)
 counterpart, mirroring PEPC's multi-purpose design.
@@ -22,20 +35,24 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.tree.build import Octree, build_octree
-from repro.tree.evaluate import evaluate_coulomb_far, evaluate_vortex_far
-from repro.tree.mac import MACVariant
-from repro.tree.multipole import (
-    compute_coulomb_moments,
-    compute_vortex_moments,
+from repro.tree.build import Octree
+from repro.tree.engine import (
+    TraversalLayout,
+    batched_far_coulomb,
+    batched_far_vortex,
+    batched_near_coulomb,
+    batched_near_vortex,
+    build_traversal_layout,
 )
+from repro.tree.mac import MACVariant
 from repro.tree.profiles import supports_multipoles
-from repro.tree.traversal import InteractionLists, dual_traversal
+from repro.tree.state import CacheStats, TreeState, TreeStateCache
+from repro.tree.traversal import InteractionLists
 from repro.utils.timing import TimingRegistry
 from repro.utils.validation import check_positive
 from repro.vortex.kernels import SingularKernel, SmoothingKernel, get_kernel
 from repro.vortex.problem import FieldEvaluator
-from repro.vortex.rhs import VelocityField, biot_savart_direct
+from repro.vortex.rhs import VelocityField
 
 __all__ = ["TreeStats", "TreeEvaluator", "TreeCoulombSolver"]
 
@@ -52,6 +69,10 @@ class TreeStats:
     near_pairs: int = 0
     far_interactions: int = 0
     near_interactions: int = 0
+    #: which pipeline stages were served from the state cache
+    build_cached: bool = False
+    moments_cached: bool = False
+    traversal_cached: bool = False
 
     @property
     def interactions_per_particle(self) -> float:
@@ -60,11 +81,43 @@ class TreeStats:
         return (self.far_interactions + self.near_interactions) / self.n_particles
 
 
-def _group_slices(sorted_by: np.ndarray, n_groups: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Start offsets per group in an array sorted by group index."""
-    starts = np.searchsorted(sorted_by, np.arange(n_groups), side="left")
-    ends = np.searchsorted(sorted_by, np.arange(n_groups), side="right")
-    return starts, ends
+def _make_stats(
+    tree: Octree,
+    lists: InteractionLists,
+    build_cached: bool,
+    moments_cached: bool,
+    traversal_cached: bool,
+) -> TreeStats:
+    return TreeStats(
+        n_particles=tree.n_particles,
+        n_nodes=tree.n_nodes,
+        n_groups=lists.n_groups,
+        mac_tests=lists.mac_tests,
+        far_pairs=int(lists.far_group.size),
+        near_pairs=int(lists.near_group.size),
+        far_interactions=lists.far_interaction_count(tree),
+        near_interactions=lists.near_interaction_count(tree),
+        build_cached=build_cached,
+        moments_cached=moments_cached,
+        traversal_cached=traversal_cached,
+    )
+
+
+def _engine_layout(
+    state: TreeState,
+    lists: InteractionLists,
+    theta: float,
+    variant: str,
+    phases: TimingRegistry,
+) -> TraversalLayout:
+    """Per-traversal engine layout, cached on the state object."""
+    key = (float(theta), str(variant))
+    layout = state.engine_layouts.get(key)
+    if layout is None:
+        with phases.phase("layout"):
+            layout = build_traversal_layout(state.tree, lists)
+        state.engine_layouts[key] = layout
+    return layout
 
 
 class TreeEvaluator(FieldEvaluator):
@@ -85,6 +138,14 @@ class TreeEvaluator(FieldEvaluator):
         Particles per leaf; leaves double as traversal target groups.
     mac_variant :
         ``"bh"`` (classical, the paper's choice) or ``"bmax"``.
+    cache :
+        :class:`~repro.tree.state.TreeStateCache` for tree/moment/traversal
+        reuse.  Pass a shared instance to let several evaluators (e.g. a
+        fine/coarse theta pair) share trees and moments; by default each
+        evaluator owns a private cache (still reused across its own calls).
+    batch_budget_bytes :
+        Approximate temporary-memory budget per engine chunk; ``None``
+        uses the engine default (64 MiB).
     """
 
     def __init__(
@@ -95,6 +156,8 @@ class TreeEvaluator(FieldEvaluator):
         order: int = 2,
         leaf_size: int = 32,
         mac_variant: MACVariant = "bh",
+        cache: Optional[TreeStateCache] = None,
+        batch_budget_bytes: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
@@ -112,6 +175,8 @@ class TreeEvaluator(FieldEvaluator):
         self.order = order
         self.leaf_size = int(leaf_size)
         self.mac_variant: MACVariant = mac_variant
+        self.cache = cache if cache is not None else TreeStateCache()
+        self.batch_budget_bytes = batch_budget_bytes
         self.phases = TimingRegistry()
         self.last_stats = TreeStats()
         self._exclude_zero = (
@@ -119,89 +184,70 @@ class TreeEvaluator(FieldEvaluator):
             and self.kernel.softening == 0.0
         )
 
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the underlying state cache."""
+        return self.cache.stats
+
+    def coarsened(
+        self, theta: float, mac_variant: Optional[MACVariant] = None
+    ) -> "TreeEvaluator":
+        """A theta-coarsened evaluator sharing this one's state cache.
+
+        The returned evaluator reuses every tree build and moment pass of
+        this evaluator (and vice versa) and only runs its own traversal —
+        the paper's fine/coarse pair for the price of one tree pipeline.
+        """
+        return TreeEvaluator(
+            self.kernel,
+            self.sigma,
+            theta=theta,
+            order=self.order,
+            leaf_size=self.leaf_size,
+            mac_variant=self.mac_variant if mac_variant is None else mac_variant,
+            cache=self.cache,
+            batch_budget_bytes=self.batch_budget_bytes,
+        )
+
     def _evaluate(
-        self, positions: np.ndarray, charges: np.ndarray, gradient: bool
+        self,
+        positions: np.ndarray,
+        charges: np.ndarray,
+        gradient: bool,
+        include_far: bool = True,
     ) -> VelocityField:
-        with self.phases.phase("tree_build"):
-            tree = build_octree(positions, leaf_size=self.leaf_size)
-        with self.phases.phase("moments"):
-            moments = compute_vortex_moments(tree, charges)
-        with self.phases.phase("traverse"):
-            lists = dual_traversal(
-                tree, self.theta, node_bmax=moments.bmax,
-                variant=self.mac_variant,
-            )
-        charges_sorted = charges[tree.order]
+        state, build_cached = self.cache.state(
+            positions, self.leaf_size, self.phases
+        )
+        tree = state.tree
+        moments, moments_cached = state.vortex_moments(charges, self.phases)
+        lists, traversal_cached = state.traversal(
+            self.theta, self.mac_variant, moments.bmax, self.phases
+        )
+        layout = _engine_layout(
+            state, lists, self.theta, self.mac_variant, self.phases
+        )
+
         n = positions.shape[0]
         vel = np.zeros((n, 3))
         grad = np.zeros((n, 3, 3)) if gradient else None
 
-        far_order = np.argsort(lists.far_group, kind="stable")
-        far_group = lists.far_group[far_order]
-        far_node = lists.far_node[far_order]
-        near_order = np.argsort(lists.near_group, kind="stable")
-        near_group = lists.near_group[near_order]
-        near_node = lists.near_node[near_order]
-        fstart, fend = _group_slices(far_group, lists.n_groups)
-        nstart, nend = _group_slices(near_group, lists.n_groups)
-
-        with self.phases.phase("far_field"):
-            for gi in range(lists.n_groups):
-                leaf = lists.groups[gi]
-                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
-                nodes = far_node[fstart[gi]:fend[gi]]
-                if nodes.size == 0:
-                    continue
-                u, g = evaluate_vortex_far(
-                    tree.positions[lo:hi],
-                    moments.center[nodes],
-                    moments.m0[nodes],
-                    moments.m1[nodes],
-                    moments.m2[nodes],
-                    self.kernel,
-                    self.sigma,
-                    order=self.order,
-                    gradient=gradient,
+        if include_far:
+            with self.phases.phase("far_field"):
+                batched_far_vortex(
+                    tree, moments, layout, self.kernel, self.sigma,
+                    self.order, gradient, vel, grad,
+                    budget_bytes=self.batch_budget_bytes,
                 )
-                vel[lo:hi] += u
-                if gradient:
-                    grad[lo:hi] += g
-
         with self.phases.phase("near_field"):
-            for gi in range(lists.n_groups):
-                leaf = lists.groups[gi]
-                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
-                src_leaves = near_node[nstart[gi]:nend[gi]]
-                if src_leaves.size == 0:
-                    continue
-                seg = [
-                    slice(tree.node_start[s], tree.node_end[s])
-                    for s in src_leaves
-                ]
-                src_pos = np.concatenate([tree.positions[s] for s in seg])
-                src_ch = np.concatenate([charges_sorted[s] for s in seg])
-                field = biot_savart_direct(
-                    tree.positions[lo:hi],
-                    src_pos,
-                    src_ch,
-                    self.kernel,
-                    self.sigma,
-                    gradient=gradient,
-                    exclude_zero=self._exclude_zero,
-                )
-                vel[lo:hi] += field.velocity
-                if gradient:
-                    grad[lo:hi] += field.gradient
+            batched_near_vortex(
+                tree, charges[tree.order], layout, self.kernel, self.sigma,
+                gradient, self._exclude_zero, vel, grad,
+                budget_bytes=self.batch_budget_bytes,
+            )
 
-        self.last_stats = TreeStats(
-            n_particles=n,
-            n_nodes=tree.n_nodes,
-            n_groups=lists.n_groups,
-            mac_tests=lists.mac_tests,
-            far_pairs=int(lists.far_group.size),
-            near_pairs=int(lists.near_group.size),
-            far_interactions=lists.far_interaction_count(tree),
-            near_interactions=lists.near_interaction_count(tree),
+        self.last_stats = _make_stats(
+            tree, lists, build_cached, moments_cached, traversal_cached
         )
         # scatter from Morton order back to caller order
         out_v = np.empty_like(vel)
@@ -217,7 +263,8 @@ class TreeCoulombSolver:
     """Barnes-Hut potential/field solver for scalar charges.
 
     Mirrors PEPC's original Coulomb/gravity mode; used by the Fig. 5-style
-    scaling benchmark ("homogeneous neutral Coulomb system").
+    scaling benchmark ("homogeneous neutral Coulomb system").  Runs on the
+    same batched engine and state cache as :class:`TreeEvaluator`.
     """
 
     def __init__(
@@ -227,93 +274,61 @@ class TreeCoulombSolver:
         leaf_size: int = 32,
         softening: float = 0.0,
         mac_variant: MACVariant = "bh",
+        cache: Optional[TreeStateCache] = None,
+        batch_budget_bytes: Optional[int] = None,
     ) -> None:
         self.kernel = SingularKernel(softening=softening)
         self.theta = float(theta)
         self.order = order
         self.leaf_size = int(leaf_size)
         self.mac_variant: MACVariant = mac_variant
+        self.cache = cache if cache is not None else TreeStateCache()
+        self.batch_budget_bytes = batch_budget_bytes
         self.phases = TimingRegistry()
         self.last_stats = TreeStats()
+        # unsoftened coincident pairs diverge and are excluded, exactly as
+        # in the direct reference; softened ones contribute 1/(4 pi eps)
+        self._exclude_zero = self.kernel.softening == 0.0
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the underlying state cache."""
+        return self.cache.stats
 
     def compute(
         self, positions: np.ndarray, charges: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(potential, field)`` at every particle position."""
-        with self.phases.phase("tree_build"):
-            tree = build_octree(positions, leaf_size=self.leaf_size)
-        with self.phases.phase("moments"):
-            moments = compute_coulomb_moments(tree, charges)
-        with self.phases.phase("traverse"):
-            lists = dual_traversal(
-                tree, self.theta, node_bmax=moments.bmax,
-                variant=self.mac_variant,
-            )
-        q_sorted = charges[tree.order]
+        state, build_cached = self.cache.state(
+            positions, self.leaf_size, self.phases
+        )
+        tree = state.tree
+        moments, moments_cached = state.coulomb_moments(charges, self.phases)
+        lists, traversal_cached = state.traversal(
+            self.theta, self.mac_variant, moments.bmax, self.phases
+        )
+        layout = _engine_layout(
+            state, lists, self.theta, self.mac_variant, self.phases
+        )
+
         n = positions.shape[0]
         phi = np.zeros(n)
         field = np.zeros((n, 3))
 
-        far_order = np.argsort(lists.far_group, kind="stable")
-        far_group = lists.far_group[far_order]
-        far_node = lists.far_node[far_order]
-        near_order = np.argsort(lists.near_group, kind="stable")
-        near_group = lists.near_group[near_order]
-        near_node = lists.near_node[near_order]
-        fstart, fend = _group_slices(far_group, lists.n_groups)
-        nstart, nend = _group_slices(near_group, lists.n_groups)
-
-        inv_four_pi = 1.0 / (4.0 * np.pi)
         with self.phases.phase("far_field"):
-            for gi in range(lists.n_groups):
-                leaf = lists.groups[gi]
-                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
-                nodes = far_node[fstart[gi]:fend[gi]]
-                if nodes.size == 0:
-                    continue
-                p, e = evaluate_coulomb_far(
-                    tree.positions[lo:hi],
-                    moments.center[nodes],
-                    moments.m0[nodes],
-                    moments.m1[nodes],
-                    moments.m2[nodes],
-                    self.kernel,
-                    1.0,
-                    order=self.order,
-                )
-                phi[lo:hi] += p
-                field[lo:hi] += e
-
+            batched_far_coulomb(
+                tree, moments, layout, self.kernel, 1.0, self.order,
+                phi, field, budget_bytes=self.batch_budget_bytes,
+            )
         with self.phases.phase("near_field"):
-            for gi in range(lists.n_groups):
-                leaf = lists.groups[gi]
-                lo, hi = tree.node_start[leaf], tree.node_end[leaf]
-                src_leaves = near_node[nstart[gi]:nend[gi]]
-                if src_leaves.size == 0:
-                    continue
-                seg = [
-                    slice(tree.node_start[s], tree.node_end[s])
-                    for s in src_leaves
-                ]
-                src_pos = np.concatenate([tree.positions[s] for s in seg])
-                src_q = np.concatenate([q_sorted[s] for s in seg])
-                r = tree.positions[lo:hi, None, :] - src_pos[None, :, :]
-                d2 = np.einsum("tsk,tsk->ts", r, r) + self.kernel.softening**2
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    inv = np.where(d2 > 0.0, 1.0 / np.sqrt(d2), 0.0)
-                phi[lo:hi] += inv_four_pi * (inv @ src_q)
-                f3 = inv**3 * src_q[None, :]
-                field[lo:hi] += inv_four_pi * np.einsum("ts,tsk->tk", f3, r)
+            batched_near_coulomb(
+                tree, charges[tree.order], layout, self.kernel, 1.0,
+                self._exclude_zero, phi, field,
+                budget_bytes=self.batch_budget_bytes,
+            )
 
-        self.last_stats = TreeStats(
-            n_particles=n,
-            n_nodes=tree.n_nodes,
-            n_groups=lists.n_groups,
-            mac_tests=lists.mac_tests,
-            far_pairs=int(lists.far_group.size),
-            near_pairs=int(lists.near_group.size),
-            far_interactions=lists.far_interaction_count(tree),
-            near_interactions=lists.near_interaction_count(tree),
+        self.last_stats = _make_stats(
+            tree, lists, build_cached, moments_cached, traversal_cached
         )
         out_phi = np.empty_like(phi)
         out_phi[tree.order] = phi

@@ -125,48 +125,9 @@ class MultirateTreeEvaluator(FieldEvaluator):
     def _near_field(
         self, positions: np.ndarray, charges: np.ndarray, gradient: bool
     ) -> VelocityField:
-        """Near-field part only: build + traverse, evaluate near pairs,
-        skip the far (multipole) loop entirely."""
-        ev = self._near_only
-        from repro.tree.build import build_octree
-        from repro.tree.multipole import compute_vortex_moments
-        from repro.tree.traversal import dual_traversal
-        from repro.vortex.rhs import biot_savart_direct
-
-        tree = build_octree(positions, leaf_size=ev.leaf_size)
-        moments = compute_vortex_moments(tree, charges)
-        lists = dual_traversal(tree, ev.theta, node_bmax=moments.bmax,
-                               variant=ev.mac_variant)
-        charges_sorted = charges[tree.order]
-        n = positions.shape[0]
-        vel = np.zeros((n, 3))
-        grad = np.zeros((n, 3, 3)) if gradient else None
-        order = np.argsort(lists.near_group, kind="stable")
-        near_group = lists.near_group[order]
-        near_node = lists.near_node[order]
-        starts = np.searchsorted(near_group, np.arange(lists.n_groups), "left")
-        ends = np.searchsorted(near_group, np.arange(lists.n_groups), "right")
-        for gi in range(lists.n_groups):
-            leaf = lists.groups[gi]
-            lo, hi = tree.node_start[leaf], tree.node_end[leaf]
-            src = near_node[starts[gi]:ends[gi]]
-            if src.size == 0:
-                continue
-            seg = [slice(tree.node_start[s], tree.node_end[s]) for s in src]
-            src_pos = np.concatenate([tree.positions[s] for s in seg])
-            src_ch = np.concatenate([charges_sorted[s] for s in seg])
-            field = biot_savart_direct(
-                tree.positions[lo:hi], src_pos, src_ch, ev.kernel,
-                ev.sigma, gradient=gradient,
-                exclude_zero=ev._exclude_zero,
-            )
-            vel[lo:hi] += field.velocity
-            if gradient:
-                grad[lo:hi] += field.gradient
-        out_v = np.empty_like(vel)
-        out_v[tree.order] = vel
-        out_g = None
-        if gradient:
-            out_g = np.empty_like(grad)
-            out_g[tree.order] = grad
-        return VelocityField(out_v, out_g)
+        """Near-field part only: the batched near pass, skipping the far
+        (multipole) phase.  Shares the full evaluator's state cache, so a
+        refresh call's tree/moments/traversal are reused here for free."""
+        return self._near_only._evaluate(
+            positions, charges, gradient, include_far=False
+        )

@@ -40,6 +40,19 @@ from repro.vortex.kernels import (
     SmoothingKernel,
 )
 
+
+def _int_power(base: np.ndarray, n: int) -> np.ndarray:
+    """``base ** n`` for integer ``n >= 1`` by squaring (no float powers)."""
+    acc = None
+    sq = base
+    while n:
+        if n & 1:
+            acc = sq.copy() if acc is None else acc * sq
+        n >>= 1
+        if n:
+            sq = sq * sq
+    return acc
+
 __all__ = [
     "RationalProfile",
     "radial_chain",
@@ -134,12 +147,30 @@ def radial_chain(
         profile = RationalProfile(
             coeffs=tuple(kernel._P), k=Fraction(kernel._D - 2, 2)
         )
+        # Every chain member shares the denominator family (t+1)^{-(k0+i)}
+        # with k0 = (D-2)/2, so one inverse(-sqrt) power chain serves the
+        # whole tuple and only the numerators need Horner passes — no
+        # float-exponent powers on the hot path.
+        inv2 = 1.0 / (t + 1.0)
+        if (kernel._D - 2) % 2:
+            den = _int_power(np.sqrt(inv2), kernel._D - 2)
+        else:
+            den = _int_power(inv2, (kernel._D - 2) // 2)
         out = []
         scale = -inv_four_pi / sigma**3
-        for _ in range(max_order):
-            out.append(scale * profile(t))
-            profile = profile.diff()
-            scale *= 2.0 / sigma**2
+        for i in range(max_order):
+            coeffs = profile.coeffs
+            num = np.full_like(t, coeffs[-1])
+            for c in coeffs[-2::-1]:
+                num *= t
+                num += c
+            num *= den
+            num *= scale
+            out.append(num)
+            if i + 1 < max_order:
+                profile = profile.diff()
+                scale *= 2.0 / sigma**2
+                den = den * inv2
         return tuple(out)
 
     if isinstance(kernel, SingularKernel):

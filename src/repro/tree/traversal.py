@@ -23,7 +23,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.tree.build import Octree
-from repro.tree.mac import MACVariant, mac_accept
+from repro.tree.mac import MACVariant, mac_accept_sq
 
 __all__ = ["InteractionLists", "dual_traversal"]
 
@@ -123,12 +123,12 @@ def dual_traversal(
     while fg.size:
         mac_tests += fg.size
         diff = group_center[fg] - tree.node_center[fn]
-        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        accept = mac_accept(
+        dist_sq = np.einsum("ij,ij->i", diff, diff)
+        accept = mac_accept_sq(
             theta,
             tree.node_size[fn],
             node_bmax[fn],
-            dist,
+            dist_sq,
             group_radius[fg],
             variant,
         )

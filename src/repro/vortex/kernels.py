@@ -108,6 +108,22 @@ class SmoothingKernel(ABC):
         rho = np.asarray(r, dtype=np.float64) / sigma
         return self.w(rho) / sigma**5
 
+    def f_g_from_r2(
+        self, r2: np.ndarray, sigma: float, gradient: bool = True
+    ) -> Tuple[np.ndarray, "np.ndarray | None"]:
+        """Both radial factors straight from *squared* distances.
+
+        The batched near-field evaluator computes ``r^2`` anyway, and the
+        algebraic family is rational in ``t = r^2/sigma^2``, so subclasses
+        override this to skip the square root entirely (the generic
+        fallback takes one).  Returns ``(F, G)``; ``G`` is None when
+        ``gradient`` is False.
+        """
+        dist = np.sqrt(r2)
+        f = self.f_radial(dist, sigma)
+        g = self.g_radial(dist, sigma) if gradient else None
+        return f, g
+
     def moment(self, k: int, rmax: float = 80.0, n: int = 200_001) -> float:
         """Numerical radial moment ``M_k = int |x|^k zeta d^3x`` (tests)."""
         rho = np.linspace(0.0, rmax, n)
@@ -163,6 +179,58 @@ class AlgebraicKernel(SmoothingKernel):
         rho = np.asarray(rho, dtype=np.float64)
         t = rho * rho
         return self._horner(self._W, t) / (t + 1.0) ** (self._D / 2.0)
+
+    @staticmethod
+    def _int_power(base: np.ndarray, n: int) -> np.ndarray:
+        """``base**n`` by squaring — ~log2(n) multiplies, no np.power."""
+        acc = None
+        while True:
+            if n & 1:
+                acc = base if acc is None else acc * base
+            n >>= 1
+            if not n:
+                return acc
+            base = base * base
+
+    def f_g_from_r2(
+        self, r2: np.ndarray, sigma: float, gradient: bool = True
+    ) -> Tuple[np.ndarray, "np.ndarray | None"]:
+        """Rational fast path: Horner numerators over ``(t+1)^{-k/2}``.
+
+        The half-integer denominators are integer powers of
+        ``1/sqrt(t+1)``; ``F`` and ``G`` share the whole power chain
+        (``G``'s denominator is one factor of ``t+1`` deeper), so the
+        pair costs one sqrt, one divide and a handful of multiplies —
+        several times cheaper than two ``np.power`` calls with float
+        exponents.
+        """
+        sig2 = sigma * sigma
+        t = r2 * (1.0 / sig2)
+        w = t + 1.0
+        np.sqrt(w, out=w)
+        inv = np.divide(1.0, w, out=w)
+        fden = self._int_power(inv, self._D - 2)
+        # fold the sigma scales into the (scalar) coefficients and run
+        # Horner in place — no temporaries on the hot path
+        inv_sig3 = 1.0 / (sigma * sig2)
+        coeffs = self._P
+        f = np.full_like(t, coeffs[-1] * inv_sig3)
+        for c in coeffs[-2::-1]:
+            f *= t
+            f += c * inv_sig3
+        f *= fden
+        g = None
+        if gradient:
+            inv_sig5 = inv_sig3 / sig2
+            coeffs = self._W
+            g = np.full_like(t, coeffs[-1] * inv_sig5)
+            for c in coeffs[-2::-1]:
+                g *= t
+                g += c * inv_sig5
+            g *= fden
+            g *= inv
+            g *= inv
+        return f, g
 
 
 class SecondOrderAlgebraic(AlgebraicKernel):
@@ -299,6 +367,14 @@ class SingularKernel(SmoothingKernel):
 
     def g_radial(self, r: np.ndarray, sigma: float) -> np.ndarray:
         return self.w(np.asarray(r, dtype=np.float64))
+
+    def f_g_from_r2(
+        self, r2: np.ndarray, sigma: float, gradient: bool = True
+    ) -> Tuple[np.ndarray, "np.ndarray | None"]:
+        s = r2 + self.softening**2
+        f = 1.0 / (s * np.sqrt(s))
+        g = -3.0 * f / s if gradient else None
+        return f, g
 
 
 _REGISTRY: Dict[str, Type[SmoothingKernel]] = {

@@ -143,3 +143,18 @@ class VortexProblem(ODEProblem):
     def with_evaluator(self, evaluator: FieldEvaluator) -> "VortexProblem":
         """Same problem, different field evaluator (used for coarse levels)."""
         return VortexProblem(self.volumes, evaluator, self.scheme)
+
+    def coarsened(self, theta: float) -> "VortexProblem":
+        """The paper's particle coarsening: same problem, larger ``theta``.
+
+        Requires a theta-aware evaluator (``repro.tree.TreeEvaluator``);
+        the coarse evaluator shares the fine one's tree-state cache, so
+        the pair runs one tree build + one moment pass per configuration.
+        """
+        coarsen = getattr(self.evaluator, "coarsened", None)
+        if coarsen is None:
+            raise TypeError(
+                f"evaluator {type(self.evaluator).__name__} does not support "
+                "theta coarsening; construct the coarse problem explicitly"
+            )
+        return self.with_evaluator(coarsen(theta))

@@ -19,7 +19,7 @@ bounded memory budget (cache-friendliness guidance from the HPC notes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Literal, Optional, Tuple
 
 import numpy as np
 
@@ -27,7 +27,12 @@ from repro.utils.chunking import chunk_pairs_budget, chunk_ranges
 from repro.utils.validation import check_array, check_positive
 from repro.vortex.kernels import SmoothingKernel
 
-__all__ = ["VelocityField", "biot_savart_direct", "stretching_rhs"]
+__all__ = [
+    "VelocityField",
+    "biot_savart_direct",
+    "biot_savart_pairs",
+    "stretching_rhs",
+]
 
 _INV_FOUR_PI = 1.0 / (4.0 * np.pi)
 
@@ -152,6 +157,46 @@ def biot_savart_direct(
             grad[lo:hi] = -_INV_FOUR_PI * (term1 + _eps_contract(fa))
 
     return VelocityField(velocity, grad)
+
+
+def biot_savart_pairs(
+    targets: np.ndarray,
+    sources: np.ndarray,
+    charges: np.ndarray,
+    kernel: SmoothingKernel,
+    sigma: float,
+    gradient: bool = True,
+    exclude_zero: bool = False,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-pair Biot-Savart contributions of P (target, source) pairs.
+
+    All arrays are aligned on axis 0: pair ``p`` is the interaction of
+    ``targets[p]`` with the single source ``(sources[p], charges[p])``.
+    Returns *unsummed* velocity (P, 3) and gradient (P, 3, 3)
+    contributions; the batched tree engine scatter-adds them per target.
+    Same radial factors and zero-distance semantics as
+    :func:`biot_savart_direct`.
+    """
+    r = targets - sources  # (P, 3)
+    dist = np.sqrt(np.einsum("pk,pk->p", r, r))
+    if exclude_zero:
+        zero = dist == 0.0
+        dist = np.where(zero, 1.0, dist)
+    f = kernel.f_radial(dist, sigma)
+    if exclude_zero:
+        f = np.where(zero, 0.0, f)
+    cross = np.cross(r, charges)
+    velocity = -_INV_FOUR_PI * f[:, None] * cross
+    grad = None
+    if gradient:
+        g = kernel.g_radial(dist, sigma)
+        if exclude_zero:
+            g = np.where(zero, 0.0, g)
+        grad = -_INV_FOUR_PI * (
+            np.einsum("p,pi,pk->pik", g, cross, r)
+            + _eps_contract(f[:, None] * charges)
+        )
+    return velocity, grad
 
 
 def stretching_rhs(

@@ -1,0 +1,220 @@
+"""TreeState cache: hits, invalidation, fine/coarse sharing, counters."""
+
+import numpy as np
+import pytest
+
+from repro.tree import TreeEvaluator, TreeStateCache, array_fingerprint
+from repro.vortex import get_kernel, spherical_vortex_sheet
+from repro.vortex.sheet import SheetConfig
+
+
+@pytest.fixture(scope="module")
+def sheet():
+    cfg = SheetConfig(n=300)
+    ps = spherical_vortex_sheet(cfg)
+    return ps, cfg, get_kernel("algebraic6")
+
+
+def _fresh_evaluator(sheet, **kw):
+    ps, cfg, kernel = sheet
+    kw.setdefault("theta", 0.3)
+    kw.setdefault("leaf_size", 24)
+    return TreeEvaluator(kernel, cfg.sigma, **kw)
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_sensitive(self, rng):
+        a = rng.normal(size=(50, 3))
+        assert array_fingerprint(a) == array_fingerprint(a.copy())
+        b = a.copy()
+        b[17, 2] += 1e-12
+        assert array_fingerprint(a) != array_fingerprint(b)
+
+    def test_shape_and_dtype_matter(self):
+        flat = np.zeros(12)
+        assert array_fingerprint(flat) != array_fingerprint(
+            flat.reshape(4, 3)
+        )
+        assert array_fingerprint(flat) != array_fingerprint(
+            flat.astype(np.float32)
+        )
+
+    def test_non_contiguous_input(self, rng):
+        a = rng.normal(size=(40, 6))
+        view = a[:, ::2]
+        assert array_fingerprint(view) == array_fingerprint(
+            np.ascontiguousarray(view)
+        )
+
+
+class TestRepeatedEvaluation:
+    def test_identical_state_hits_every_stage(self, sheet):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        first = ev.field(ps.positions, ps.charges)
+        s = ev.last_stats
+        assert not (s.build_cached or s.moments_cached or s.traversal_cached)
+        second = ev.field(ps.positions, ps.charges)
+        s = ev.last_stats
+        assert s.build_cached and s.moments_cached and s.traversal_cached
+        assert np.array_equal(first.velocity, second.velocity)
+        assert np.array_equal(first.gradient, second.gradient)
+        cs = ev.cache_stats
+        assert cs.build_hits == 1 and cs.build_misses == 1
+        assert cs.moment_hits == 1 and cs.moment_misses == 1
+        assert cs.traversal_hits == 1 and cs.traversal_misses == 1
+
+    def test_perturbed_positions_invalidate(self, sheet):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        ev.field(ps.positions, ps.charges)
+        moved = ps.positions.copy()
+        moved[0, 0] += 1e-9
+        ev.field(moved, ps.charges)
+        s = ev.last_stats
+        assert not s.build_cached
+        assert not s.moments_cached
+        assert not s.traversal_cached
+
+    def test_perturbed_charges_invalidate_moments_only(self, sheet):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        ev.field(ps.positions, ps.charges)
+        bumped = ps.charges.copy()
+        bumped[3, 1] *= 1.0 + 1e-10
+        ev.field(ps.positions, bumped)
+        s = ev.last_stats
+        assert s.build_cached  # same positions: tree reused
+        assert not s.moments_cached  # new charges: moments recomputed
+        assert s.traversal_cached  # traversal is geometry-only
+
+    def test_inplace_mutation_cannot_go_stale(self, sheet):
+        """Content fingerprinting: mutating the caller's array in place is
+        a miss, never a stale hit."""
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        pos = ps.positions.copy()
+        before = ev.field(pos, ps.charges)
+        pos[: pos.shape[0] // 2] *= 1.05  # in-place, same object identity
+        after = ev.field(pos, ps.charges)
+        assert not ev.last_stats.build_cached
+        assert not np.allclose(before.velocity, after.velocity)
+
+    def test_build_timed_only_on_miss(self, sheet):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        ev.field(ps.positions, ps.charges)
+        builds = ev.phases.timers["tree_build"].count
+        ev.field(ps.positions, ps.charges)
+        assert ev.phases.timers["tree_build"].count == builds
+
+
+class TestFineCoarseSharing:
+    def test_coarsened_shares_cache_and_tree(self, sheet):
+        ps, _, _ = sheet
+        fine = _fresh_evaluator(sheet, theta=0.3)
+        coarse = fine.coarsened(0.6)
+        assert coarse.cache is fine.cache
+        assert coarse.theta == 0.6
+        fine.field(ps.positions, ps.charges)
+        coarse.field(ps.positions, ps.charges)
+        s = coarse.last_stats
+        # coarse reuses the fine build + moments, runs its own traversal
+        assert s.build_cached and s.moments_cached
+        assert not s.traversal_cached
+        assert len(fine.cache) == 1
+
+    def test_shared_results_match_unshared(self, sheet):
+        ps, _, _ = sheet
+        fine = _fresh_evaluator(sheet, theta=0.3)
+        shared = fine.coarsened(0.6)
+        fine.field(ps.positions, ps.charges)
+        out_shared = shared.field(ps.positions, ps.charges)
+        solo = _fresh_evaluator(sheet, theta=0.6)
+        out_solo = solo.field(ps.positions, ps.charges)
+        assert np.array_equal(out_shared.velocity, out_solo.velocity)
+        assert np.array_equal(out_shared.gradient, out_solo.gradient)
+
+    def test_explicit_shared_cache_parameter(self, sheet):
+        ps, cfg, kernel = sheet
+        cache = TreeStateCache(maxsize=4)
+        a = TreeEvaluator(kernel, cfg.sigma, theta=0.3, leaf_size=24,
+                          cache=cache)
+        b = TreeEvaluator(kernel, cfg.sigma, theta=0.6, leaf_size=24,
+                          cache=cache)
+        a.field(ps.positions, ps.charges)
+        b.field(ps.positions, ps.charges)
+        assert cache.stats.build_hits == 1
+        assert cache.stats.build_misses == 1
+
+    def test_different_leaf_size_is_a_different_state(self, sheet):
+        ps, cfg, kernel = sheet
+        cache = TreeStateCache()
+        a = TreeEvaluator(kernel, cfg.sigma, theta=0.3, leaf_size=16,
+                          cache=cache)
+        b = TreeEvaluator(kernel, cfg.sigma, theta=0.3, leaf_size=32,
+                          cache=cache)
+        a.field(ps.positions, ps.charges)
+        b.field(ps.positions, ps.charges)
+        assert cache.stats.build_misses == 2
+        assert len(cache) == 2
+
+
+class TestEviction:
+    def test_lru_bound_holds(self, sheet, rng):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        ev.cache.maxsize = 2
+        configs = [ps.positions + 0.01 * k for k in range(4)]
+        for pos in configs:
+            ev.field(pos, ps.charges)
+        assert len(ev.cache) == 2
+        # oldest state evicted: re-evaluating it is a miss again
+        ev.field(configs[0], ps.charges)
+        assert not ev.last_stats.build_cached
+
+    def test_clear(self, sheet):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        ev.field(ps.positions, ps.charges)
+        ev.cache.clear()
+        assert len(ev.cache) == 0
+        ev.field(ps.positions, ps.charges)
+        assert not ev.last_stats.build_cached
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            TreeStateCache(maxsize=0)
+
+
+class TestStatsPlumbing:
+    def test_cache_stats_as_dict_keys(self, sheet):
+        ps, _, _ = sheet
+        ev = _fresh_evaluator(sheet)
+        ev.field(ps.positions, ps.charges)
+        d = ev.cache_stats.as_dict()
+        assert set(d) == {
+            "build_hits", "build_misses", "moment_hits", "moment_misses",
+            "traversal_hits", "traversal_misses",
+        }
+
+    def test_pfasst_surfaces_evaluator_stats(self, sheet):
+        from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
+        from repro.vortex import VortexProblem
+
+        ps, _, _ = sheet
+        fine_ev = _fresh_evaluator(sheet, theta=0.3)
+        fine = VortexProblem(ps.volumes, fine_ev)
+        coarse = fine.coarsened(0.6)
+        config = PfasstConfig(t0=0.0, t_end=0.5, n_steps=1, iterations=2)
+        specs = [
+            LevelSpec(fine, num_nodes=3, sweeps=1),
+            LevelSpec(coarse, num_nodes=2, sweeps=2),
+        ]
+        result = run_pfasst(config, specs, ps.state(), p_time=1)
+        assert len(result.evaluator_stats) == 2
+        for entry in result.evaluator_stats:
+            assert entry["calls"] > 0
+        # FAS restriction re-evaluates the coarse RHS at fine states whose
+        # trees were just built — the shared cache must see build hits
+        assert result.evaluator_stats[1]["build_hits"] > 0
