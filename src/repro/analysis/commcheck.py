@@ -1,0 +1,193 @@
+"""Protocol verification for the deterministic simulated MPI.
+
+Three checks, all hooked into :class:`repro.parallel.simmpi.Scheduler`:
+
+* **Deadlock diagnosis** — when no rank can make progress, every blocked
+  rank is waiting on exactly one ``(source, tag)`` receive, so the
+  blocked set forms a *functional* wait-for graph (out-degree <= 1).
+  :func:`WaitForGraph.cycles` names the genuine circular waits and
+  :func:`WaitForGraph.render` produces the diagnostic the scheduler
+  attaches to :class:`~repro.parallel.simmpi.DeadlockError`.
+* **Orphan report** — messages still sitting in a channel after all
+  ranks finished were sent but never received: a protocol mismatch
+  (wrong tag, missing receive) that silently skews virtual-time and
+  byte statistics.  :func:`find_orphans` summarises them per channel.
+* **Replay verification** — ``Scheduler(verify=True)`` re-runs the rank
+  programs under the *reversed* rank-service order and asserts
+  byte-identical results via :func:`freeze`.  Numerics that depend on
+  the interleaving chosen by the scheduler (a race: e.g. mutating
+  state shared across rank generators) change under the perturbed
+  schedule and surface as a :class:`VerificationError` instead of a
+  silently schedule-dependent "result".
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "VerificationError",
+    "WaitForGraph",
+    "OrphanMessage",
+    "find_orphans",
+    "freeze",
+    "compare_replays",
+]
+
+
+class VerificationError(RuntimeError):
+    """Replay under a perturbed schedule produced different results."""
+
+
+# ---------------------------------------------------------------------------
+# wait-for graph
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class OrphanMessage:
+    """Messages sent on ``(source, dest, tag)`` that were never received."""
+
+    source: int
+    dest: int
+    tag: Hashable
+    count: int
+
+    def render(self) -> str:
+        return (
+            f"rank {self.source} -> rank {self.dest} tag={self.tag!r}: "
+            f"{self.count} message(s) sent but never received"
+        )
+
+
+class WaitForGraph:
+    """Functional wait-for graph of blocked ranks.
+
+    ``edges[rank] = (source, tag)`` means ``rank`` is blocked on a
+    receive from ``source`` with ``tag``.  Ranks absent from ``edges``
+    have finished (an edge pointing at them can never be satisfied).
+    """
+
+    def __init__(self, edges: Mapping[int, Tuple[int, Hashable]]) -> None:
+        self.edges: Dict[int, Tuple[int, Hashable]] = dict(edges)
+
+    def cycles(self) -> List[List[int]]:
+        """All circular waits, each as ``[r0, r1, ..., r0]``.
+
+        The graph is functional (one outgoing edge per blocked rank), so
+        a pointer walk with a colouring finds every cycle exactly once.
+        """
+        color: Dict[int, int] = {}  # 0 in-progress stack, 1 done
+        cycles: List[List[int]] = []
+        for start in sorted(self.edges):
+            if color.get(start) == 1:
+                continue
+            path: List[int] = []
+            node: Optional[int] = start
+            while node is not None and node in self.edges and node not in color:
+                color[node] = 0
+                path.append(node)
+                node = self.edges[node][0]
+            if node is not None and color.get(node) == 0:
+                # walked back onto the current path: cycle from `node`
+                idx = path.index(node)
+                cycles.append(path[idx:] + [node])
+            for r in path:
+                color[r] = 1
+        return cycles
+
+    def render(self) -> str:
+        """Human-readable diagnostic: edges, then named cycles."""
+        lines = ["wait-for graph (rank -> blocked-on):"]
+        for rank in sorted(self.edges):
+            source, tag = self.edges[rank]
+            note = ""
+            if source not in self.edges:
+                note = "  [source already finished: message can never arrive]"
+            lines.append(
+                f"  rank {rank} -> rank {source}  "
+                f"(recv source={source}, tag={tag!r}){note}"
+            )
+        cycles = self.cycles()
+        if cycles:
+            for cyc in cycles:
+                lines.append(
+                    "cycle: " + " -> ".join(f"rank {r}" for r in cyc)
+                )
+        else:
+            lines.append(
+                "no cycle: blocked on messages that were never sent "
+                "(or on finished ranks)"
+            )
+        return "\n".join(lines)
+
+
+def find_orphans(
+    channels: Mapping[Tuple[int, int, Hashable], Any]
+) -> List[OrphanMessage]:
+    """Summarise undelivered messages left in the scheduler's channels."""
+    orphans = [
+        OrphanMessage(source=src, dest=dest, tag=tag, count=len(queue))
+        for (src, dest, tag), queue in channels.items()
+        if len(queue)
+    ]
+    return sorted(orphans, key=lambda o: (o.source, o.dest, repr(o.tag)))
+
+
+# ---------------------------------------------------------------------------
+# byte-identity serialisation for replay verification
+# ---------------------------------------------------------------------------
+def _canonical(value: Any) -> Any:
+    """Recursively map a result structure to a deterministic form.
+
+    ndarrays become ``(dtype, shape, raw bytes)`` so comparison is exact
+    to the bit (no ``==``-tolerance, no NaN traps); containers recurse;
+    dicts keep insertion order (which is itself part of the contract).
+    """
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return ("__ndarray__", arr.dtype.str, arr.shape, arr.tobytes())
+    if isinstance(value, np.generic):
+        return ("__npscalar__", value.dtype.str, value.tobytes())
+    if isinstance(value, tuple):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, list):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    return value
+
+
+def freeze(value: Any) -> bytes:
+    """Canonical byte serialisation of a rank-program result structure."""
+    return pickle.dumps(_canonical(value), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def compare_replays(
+    primary: Any, replay: Any, detail: str = ""
+) -> None:
+    """Raise :class:`VerificationError` unless both runs froze identically."""
+    if freeze(primary) == freeze(replay):
+        return
+    lines = [
+        "simulated-MPI replay verification failed: results differ under a "
+        "reversed rank-service order (schedule-dependent numerics — "
+        "a race in the rank programs or shared mutable state).",
+    ]
+    if isinstance(primary, list) and isinstance(replay, list):
+        if len(primary) != len(replay):
+            lines.append(
+                f"rank count differs: {len(primary)} vs {len(replay)}"
+            )
+        else:
+            bad = [
+                r
+                for r, (a, b) in enumerate(zip(primary, replay))
+                if freeze(a) != freeze(b)
+            ]
+            lines.append(f"differing ranks: {bad}")
+    if detail:
+        lines.append(detail)
+    raise VerificationError("\n".join(lines))

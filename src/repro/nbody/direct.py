@@ -77,8 +77,8 @@ def coulomb_direct(
     kernel = kernel or SingularKernel()
     check_positive("sigma", sigma)
     m, n = targets.shape[0], sources.shape[0]
-    phi = np.zeros(m)
-    field = np.zeros((m, 3))
+    phi = np.zeros(m, dtype=np.float64)
+    field = np.zeros((m, 3), dtype=np.float64)
     if m == 0 or n == 0:
         return phi, field
     if chunk is None:

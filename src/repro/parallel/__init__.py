@@ -8,6 +8,7 @@ from repro.parallel.simmpi import (
     Recv,
     Work,
     DeadlockError,
+    OrphanMessageWarning,
     payload_bytes,
 )
 from repro.parallel.collectives import (
@@ -28,6 +29,7 @@ __all__ = [
     "Recv",
     "Work",
     "DeadlockError",
+    "OrphanMessageWarning",
     "payload_bytes",
     "bcast",
     "reduce",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Tuple
@@ -52,8 +53,13 @@ __all__ = [
     "VirtualComm",
     "Scheduler",
     "DeadlockError",
+    "OrphanMessageWarning",
     "payload_bytes",
 ]
+
+
+class OrphanMessageWarning(UserWarning):
+    """Messages were sent but never received by program exit."""
 
 
 class DeadlockError(RuntimeError):
@@ -212,6 +218,27 @@ class Scheduler:
         When True (default), real wall time between yields is added to the
         rank's virtual clock (scaled by ``compute_scale``).  Disable for
         pure-numerics runs where timing is irrelevant.
+    verify :
+        Replay mode (a practical race detector): after the primary run,
+        re-execute the whole program under the *reversed* rank-service
+        order and require byte-identical results
+        (:func:`repro.analysis.commcheck.freeze`).  Schedule-dependent
+        numerics — shared mutable state across rank generators, matching
+        that leaks the interleaving — raise
+        :class:`repro.analysis.commcheck.VerificationError`.  With
+        ``measure_compute=False`` the virtual clocks must also agree.
+        The program runs twice, so rank programs must tolerate
+        re-execution from scratch.
+    service_order :
+        Order in which runnable ranks are advanced per scheduling round:
+        ``"ascending"`` (default) or ``"descending"``.  Deterministic
+        numerics must not depend on it; ``verify=True`` checks exactly
+        that.
+    warn_orphans :
+        Emit an :class:`OrphanMessageWarning` when messages remain
+        undelivered after every rank finished (see
+        :func:`repro.analysis.commcheck.find_orphans`); the structured
+        report is kept in :attr:`orphans` either way.
     """
 
     def __init__(
@@ -219,12 +246,23 @@ class Scheduler:
         n_ranks: int,
         cost_model: CommCostModel | None = None,
         measure_compute: bool = True,
+        verify: bool = False,
+        service_order: str = "ascending",
+        warn_orphans: bool = True,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
+        if service_order not in ("ascending", "descending"):
+            raise ValueError(
+                f"service_order must be 'ascending' or 'descending', "
+                f"got {service_order!r}"
+            )
         self.n_ranks = n_ranks
         self.cost_model = cost_model or CommCostModel()
         self.measure_compute = measure_compute
+        self.verify = verify
+        self.service_order = service_order
+        self.warn_orphans = warn_orphans
         self.clocks: List[float] = [0.0] * n_ranks
         #: messages in flight / delivered, FIFO per (src, dest, tag)
         self._channels: Dict[Tuple[int, int, Hashable], deque] = defaultdict(deque)
@@ -232,10 +270,24 @@ class Scheduler:
         self.stats_bytes = 0
         #: annotated timeline instants (populated by Annotate ops)
         self.trace: List[TraceEvent] = []
+        #: undelivered-message report of the last completed run
+        self.orphans: List[Any] = []
 
     # ------------------------------------------------------------------
     def run(self, program: RankProgram, args: Tuple = ()) -> List[Any]:
-        """Execute ``program(comm, *args)`` on every rank; return results."""
+        """Execute ``program(comm, *args)`` on every rank; return results.
+
+        With ``verify=True`` the program is executed a second time under
+        the reversed rank-service order on a scratch scheduler and the
+        two result lists must freeze to identical bytes.
+        """
+        results = self._run_pass(program, args)
+        self._report_orphans()
+        if self.verify:
+            self._verify_replay(program, args, results)
+        return results
+
+    def _run_pass(self, program: RankProgram, args: Tuple) -> List[Any]:
         states: List[_RankState] = []
         for rank in range(self.n_ranks):
             comm = VirtualComm(rank, self.n_ranks, self)
@@ -247,10 +299,11 @@ class Scheduler:
                 )
             states.append(_RankState(gen=gen, comm=comm))
 
+        descending = self.service_order == "descending"
         pending = set(range(self.n_ranks))
         while pending:
             progressed = False
-            for rank in sorted(pending):
+            for rank in sorted(pending, reverse=descending):
                 state = states[rank]
                 if state.blocked_on is not None:
                     if not self._try_unblock(rank, state):
@@ -260,13 +313,63 @@ class Scheduler:
                 if state.finished:
                     pending.discard(rank)
             if not progressed:
-                blocked = {
-                    r: states[r].blocked_on for r in pending
-                }
-                raise DeadlockError(
-                    f"simulated MPI deadlock; blocked ranks: {blocked}"
+                self._raise_deadlock(
+                    {r: states[r].blocked_on for r in sorted(pending)}
                 )
         return [states[r].result for r in range(self.n_ranks)]
+
+    # ------------------------------------------------------------------
+    def _raise_deadlock(
+        self, blocked: Dict[int, Optional[Tuple[int, Hashable]]]
+    ) -> None:
+        from repro.analysis.commcheck import WaitForGraph
+
+        edges = {r: b for r, b in blocked.items() if b is not None}
+        graph = WaitForGraph(edges)
+        raise DeadlockError(
+            f"simulated MPI deadlock; blocked ranks: {blocked}\n"
+            + graph.render()
+        )
+
+    def _report_orphans(self) -> None:
+        from repro.analysis.commcheck import find_orphans
+
+        self.orphans = find_orphans(self._channels)
+        if self.orphans and self.warn_orphans:
+            report = "\n".join(o.render() for o in self.orphans)
+            warnings.warn(
+                "simulated MPI program exited with undelivered messages "
+                f"(protocol mismatch?):\n{report}",
+                OrphanMessageWarning,
+                stacklevel=3,
+            )
+
+    def _verify_replay(
+        self, program: RankProgram, args: Tuple, primary: List[Any]
+    ) -> None:
+        from repro.analysis.commcheck import compare_replays
+
+        replay = Scheduler(
+            self.n_ranks,
+            cost_model=self.cost_model,
+            measure_compute=self.measure_compute,
+            service_order=(
+                "descending" if self.service_order == "ascending"
+                else "ascending"
+            ),
+            warn_orphans=False,
+        )
+        replay_results = replay._run_pass(program, args)
+        compare_replays(
+            primary, replay_results,
+            detail=f"service orders: {self.service_order} vs "
+                   f"{replay.service_order}",
+        )
+        if not self.measure_compute:
+            compare_replays(
+                self.clocks, replay.clocks,
+                detail="virtual clocks diverged under the replay order",
+            )
 
     # ------------------------------------------------------------------
     def _try_unblock(self, rank: int, state: _RankState) -> bool:

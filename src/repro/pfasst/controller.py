@@ -362,16 +362,21 @@ def run_pfasst(
     cost_model: Optional[CommCostModel] = None,
     measure_compute: bool = False,
     spatial: Optional[Sequence[SpatialTransfer]] = None,
+    verify: bool = False,
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
 
     Set ``measure_compute=True`` (and a cost model) for speedup studies;
     leave it off for pure accuracy experiments, where virtual time is
     irrelevant and scheduling overhead should be minimal.
+    ``verify=True`` re-runs the whole block pipeline under the reversed
+    rank-service order and requires byte-identical results (the
+    scheduler's race-detector replay; roughly doubles the run time).
     """
     check_positive("p_time", p_time)
     scheduler = Scheduler(
-        p_time, cost_model=cost_model, measure_compute=measure_compute
+        p_time, cost_model=cost_model, measure_compute=measure_compute,
+        verify=verify,
     )
     results = scheduler.run(
         pfasst_rank_program, args=(config, specs, np.asarray(u0), spatial)

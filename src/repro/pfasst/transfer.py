@@ -19,6 +19,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.analysis.sanitize import boundary
 from repro.sdc.quadrature import QuadratureRule, lagrange_interpolation_matrix
 
 __all__ = ["SpatialTransfer", "IdentitySpatialTransfer", "TimeSpaceTransfer"]
@@ -75,6 +76,7 @@ class TimeSpaceTransfer:
     def _apply_time(self, mat: np.ndarray, values: np.ndarray) -> np.ndarray:
         return np.tensordot(mat, values, axes=(1, 0))
 
+    @boundary("restrict_nodes", arrays=["values_fine"])
     def restrict_nodes(self, values_fine: np.ndarray) -> np.ndarray:
         """Restrict node values fine -> coarse (time then space)."""
         coarse_time = self._apply_time(self.R_time, values_fine)
@@ -82,6 +84,7 @@ class TimeSpaceTransfer:
             [self.spatial.restrict(v) for v in coarse_time], axis=0
         )
 
+    @boundary("interpolate_nodes", arrays=["values_coarse"])
     def interpolate_nodes(self, values_coarse: np.ndarray) -> np.ndarray:
         """Interpolate node values coarse -> fine (space then time)."""
         fine_space = np.stack(

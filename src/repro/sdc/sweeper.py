@@ -22,6 +22,7 @@ from typing import Literal, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import boundary
 from repro.sdc.quadrature import QuadratureRule
 from repro.utils.timing import TimingRegistry
 from repro.vortex.problem import ODEProblem
@@ -93,6 +94,7 @@ class ExplicitSDCSweeper:
             return U, F
 
     # ------------------------------------------------------------------
+    @boundary("sweep", arrays=["U", "F", "u0", "tau"])
     def sweep(
         self,
         t0: float,

@@ -92,19 +92,37 @@ class Octree:
         return self.order[self.node_start[node]: self.node_end[node]]
 
     def validate(self) -> None:
-        """Structural invariants; raises AssertionError on violation."""
-        assert self.node_start[0] == 0 and self.node_end[0] == self.n_particles
+        """Structural invariants; raises ValueError on violation.
+
+        Explicit raises (not ``assert``) so the checks survive
+        ``python -O`` — see repro-lint rule RPR005.
+        """
+        def _fail(node: int, what: str) -> None:
+            raise ValueError(
+                f"octree invariant violated at node {node}: {what}"
+            )
+
+        if not (self.node_start[0] == 0
+                and self.node_end[0] == self.n_particles):
+            _fail(0, "root must span all particles")
         for node in range(self.n_nodes):
             first = self.node_first_child[node]
             if first >= 0:
                 kids = self.children(node)
-                assert np.all(self.node_parent[kids] == node)
-                assert self.node_start[kids[0]] == self.node_start[node]
-                assert self.node_end[kids[-1]] == self.node_end[node]
-                assert np.all(
+                if not np.all(self.node_parent[kids] == node):
+                    _fail(node, "children disagree on their parent")
+                if self.node_start[kids[0]] != self.node_start[node]:
+                    _fail(node, "first child must start at the node start")
+                if self.node_end[kids[-1]] != self.node_end[node]:
+                    _fail(node, "last child must end at the node end")
+                if not np.all(
                     self.node_end[kids[:-1]] == self.node_start[kids[1:]]
-                )
-                assert np.all(self.node_level[kids] == self.node_level[node] + 1)
+                ):
+                    _fail(node, "sibling particle ranges must be contiguous")
+                if not np.all(
+                    self.node_level[kids] == self.node_level[node] + 1
+                ):
+                    _fail(node, "children must sit one level deeper")
 
 
 def build_octree(

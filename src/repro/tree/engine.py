@@ -472,9 +472,9 @@ def batched_far_vortex(
         i += nb
 
     pcap = max(int(pcount[kb[0]]) * kb.size for kb in batches)
-    rt = np.empty((3, pcap))
-    psi = np.empty((n_mono, pcap))
-    ycat = np.empty((ncols, pcap))
+    rt = np.empty((3, pcap), dtype=np.float64)
+    psi = np.empty((n_mono, pcap), dtype=np.float64)
+    ycat = np.empty((ncols, pcap), dtype=np.float64)
     n = vel.shape[0]
     gflat = grad.reshape(n, 9) if gradient else None
     pos = tree.positions
@@ -625,7 +625,7 @@ def batched_near_vortex(
             np.maximum(r2, 0.0, out=r2)  # GEMM form can round below zero
             f, g = kernel.f_g_from_r2(r2, sigma, gradient)
             nf = 24 if gradient else 6
-            feat = np.empty((b, smax, nf))
+            feat = np.empty((b, smax, nf), dtype=np.float64)
             feat[:, :, 0:3] = a
             feat[:, :, 3:6] = sxa
             if gradient:
@@ -670,7 +670,7 @@ def batched_near_vortex(
         f *= svalid[:, None, :]
         if exclude_zero:
             f[zero] = 0.0
-        fg = np.empty((b, smax, 6))
+        fg = np.empty((b, smax, 6), dtype=np.float64)
         fg[:, :, 0:3] = a
         fg[:, :, 3:6] = _cross(s, a)
         ff = np.matmul(f, fg)

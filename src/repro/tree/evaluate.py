@@ -132,7 +132,8 @@ def evaluate_vortex_far_pairs(
     centers = np.asarray(centers, dtype=np.float64)
     p = targets.shape[0]
     if p == 0:
-        return np.zeros((0, 3)), (np.zeros((0, 3, 3)) if gradient else None)
+        return (np.zeros((0, 3), dtype=np.float64),
+                (np.zeros((0, 3, 3), dtype=np.float64) if gradient else None))
 
     r = targets - centers  # (P, 3)
     r2 = np.einsum("pi,pi->p", r, r)
@@ -250,8 +251,8 @@ def evaluate_vortex_far(
     targets = np.asarray(targets, dtype=np.float64)
     centers = np.asarray(centers, dtype=np.float64)
     p, k = targets.shape[0], centers.shape[0]
-    velocity = np.zeros((p, 3))
-    grad = np.zeros((p, 3, 3)) if gradient else None
+    velocity = np.zeros((p, 3), dtype=np.float64)
+    grad = np.zeros((p, 3, 3), dtype=np.float64) if gradient else None
     if p == 0 or k == 0:
         return velocity, grad
     flat_t, flat_c, f0, f1, f2 = _pair_grid(targets, centers, m0, m1, m2)
@@ -288,7 +289,7 @@ def evaluate_coulomb_far_pairs(
     centers = np.asarray(centers, dtype=np.float64)
     p = targets.shape[0]
     if p == 0:
-        return np.zeros(0), np.zeros((0, 3))
+        return np.zeros(0, dtype=np.float64), np.zeros((0, 3), dtype=np.float64)
 
     r = targets - centers  # (P, 3)
     r2 = np.einsum("pi,pi->p", r, r)
@@ -350,8 +351,8 @@ def evaluate_coulomb_far(
     targets = np.asarray(targets, dtype=np.float64)
     centers = np.asarray(centers, dtype=np.float64)
     p, k = targets.shape[0], centers.shape[0]
-    phi = np.zeros(p)
-    field = np.zeros((p, 3))
+    phi = np.zeros(p, dtype=np.float64)
+    field = np.zeros((p, 3), dtype=np.float64)
     if p == 0 or k == 0:
         return phi, field
     flat_t, flat_c, f0, f1, f2 = _pair_grid(targets, centers, m0, m1, m2)

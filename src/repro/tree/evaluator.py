@@ -35,6 +35,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import boundary
 from repro.tree.build import Octree
 from repro.tree.engine import (
     TraversalLayout,
@@ -209,6 +210,9 @@ class TreeEvaluator(FieldEvaluator):
             batch_budget_bytes=self.batch_budget_bytes,
         )
 
+    @boundary("tree_evaluate", arrays=[
+        ("positions", (None, 3)), ("charges", (None, 3)),
+    ])
     def _evaluate(
         self,
         positions: np.ndarray,
@@ -295,6 +299,9 @@ class TreeCoulombSolver:
         """Hit/miss counters of the underlying state cache."""
         return self.cache.stats
 
+    @boundary("tree_coulomb", arrays=[
+        ("positions", (None, 3)), ("charges", (None,)),
+    ])
     def compute(
         self, positions: np.ndarray, charges: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:

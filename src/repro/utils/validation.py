@@ -38,24 +38,49 @@ def check_array(
 ) -> np.ndarray:
     """Validate shape / dtype / finiteness of an ndarray.
 
-    ``shape`` entries of ``None`` match any extent; ``dtype`` is compared by
-    kind-compatible casting (``np.float64`` accepts any float).  Returns the
-    array converted to ``dtype`` when one is given (no copy if compatible).
+    ``shape`` entries of ``None`` (or ``-1``) are wildcards matching any
+    extent — ``shape=(None, 3)`` is the tree engine's "any number of 3D
+    points" contract.  Every failing axis is reported in a *single*
+    ``ValueError`` so a caller sees the whole mismatch at once instead of
+    fixing axes one traceback at a time.  ``dtype`` converts via
+    ``np.asarray`` (no copy when already compatible); ``finite=True``
+    additionally rejects NaN/Inf entries, reporting how many and where
+    the first one sits.
     """
     arr = np.asarray(arr, dtype=dtype)
     if shape is not None:
-        if arr.ndim != len(shape):
+        want_shape = tuple(
+            None if (w is None or w == -1) else int(w) for w in shape
+        )
+        if arr.ndim != len(want_shape):
             raise ValueError(
-                f"{name} must have ndim {len(shape)}, got shape {arr.shape}"
+                f"{name} must have ndim {len(want_shape)}, got shape {arr.shape}"
             )
-        for axis, want in enumerate(shape):
-            if want is not None and arr.shape[axis] != want:
-                raise ValueError(
-                    f"{name} axis {axis} must have length {want}, "
-                    f"got shape {arr.shape}"
+        problems = [
+            f"axis {axis} must have length {want}"
+            for axis, want in enumerate(want_shape)
+            if want is not None and arr.shape[axis] != want
+        ]
+        if problems:
+            rendered = tuple("any" if w is None else w for w in want_shape)
+            raise ValueError(
+                f"{name} {'; '.join(problems)}, got shape {arr.shape} "
+                f"(expected {rendered})"
+            )
+    if finite:
+        finite_mask = np.isfinite(arr)
+        if not np.all(finite_mask):
+            n_bad = int(arr.size - np.count_nonzero(finite_mask))
+            first = (
+                np.unravel_index(
+                    int(np.argmin(finite_mask.reshape(-1))), arr.shape
                 )
-    if finite and not np.all(np.isfinite(arr)):
-        raise ValueError(f"{name} contains non-finite values")
+                if arr.ndim else ()
+            )
+            raise ValueError(
+                f"{name} contains {n_bad} non-finite value(s); "
+                f"first at index {tuple(int(i) for i in first)}"
+            )
     return arr
 
 

@@ -23,6 +23,7 @@ from typing import Literal, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import boundary
 from repro.utils.chunking import chunk_pairs_budget, chunk_ranges
 from repro.utils.validation import check_array, check_positive
 from repro.vortex.kernels import SmoothingKernel
@@ -79,6 +80,9 @@ def _eps_contract(v: np.ndarray) -> np.ndarray:
     return out
 
 
+@boundary("biot_savart_direct", arrays=[
+    ("targets", (None, 3)), ("sources", (None, 3)), ("charges", (None, 3)),
+])
 def biot_savart_direct(
     targets: np.ndarray,
     sources: np.ndarray,
@@ -199,6 +203,9 @@ def biot_savart_pairs(
     return velocity, grad
 
 
+@boundary("stretching_rhs", arrays=[
+    ("positions", (None, 3)), ("vorticity", (None, 3)),
+])
 def stretching_rhs(
     positions: np.ndarray,
     vorticity: np.ndarray,

@@ -56,3 +56,45 @@ class TestCheckArray:
 
     def test_finite_passes(self):
         check_array("a", np.array([1.0, 2.0]), finite=True)
+
+    def test_all_failing_axes_in_one_message(self):
+        """Every mismatching dimension is reported in a single error."""
+        with pytest.raises(ValueError) as exc_info:
+            check_array("a", np.zeros((5, 2)), shape=(4, 3))
+        msg = str(exc_info.value)
+        assert "axis 0 must have length 4" in msg
+        assert "axis 1 must have length 3" in msg
+        assert "(5, 2)" in msg
+
+    def test_wildcard_none_and_minus_one(self):
+        arr = check_array("a", np.zeros((7, 3)), shape=(None, 3))
+        assert arr.shape == (7, 3)
+        arr = check_array("a", np.zeros((7, 3)), shape=(-1, 3))
+        assert arr.shape == (7, 3)
+
+    def test_wildcard_mismatch_still_reports_fixed_axes(self):
+        with pytest.raises(ValueError, match="axis 1 must have length 3"):
+            check_array("a", np.zeros((7, 2)), shape=(None, 3))
+
+    def test_expected_shape_rendered_with_wildcards(self):
+        with pytest.raises(ValueError, match=r"\('any', 3\)"):
+            check_array("a", np.zeros((7, 2)), shape=(None, 3))
+
+    def test_finite_reports_count_and_location(self):
+        arr = np.ones((2, 3))
+        arr[1, 2] = np.inf
+        arr[0, 1] = np.nan
+        with pytest.raises(
+            ValueError, match=r"2 non-finite value\(s\); first at index \(0, 1\)"
+        ):
+            check_array("a", arr, finite=True)
+
+    def test_finite_on_scalar_array(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array("a", np.array(np.nan), finite=True)
+
+    def test_finite_with_shape_and_dtype_combined(self):
+        arr = check_array(
+            "a", [[1, 2, 3]], shape=(None, 3), dtype=np.float64, finite=True
+        )
+        assert arr.dtype == np.float64
