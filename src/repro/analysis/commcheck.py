@@ -68,10 +68,17 @@ class WaitForGraph:
     ``edges[rank] = (source, tag)`` means ``rank`` is blocked on a
     receive from ``source`` with ``tag``.  Ranks absent from ``edges``
     have finished (an edge pointing at them can never be satisfied).
+    ``crashed`` names ranks that died under fault injection — an edge
+    pointing at one of those is annotated as the root cause.
     """
 
-    def __init__(self, edges: Mapping[int, Tuple[int, Hashable]]) -> None:
+    def __init__(
+        self,
+        edges: Mapping[int, Tuple[int, Hashable]],
+        crashed: frozenset = frozenset(),
+    ) -> None:
         self.edges: Dict[int, Tuple[int, Hashable]] = dict(edges)
+        self.crashed = frozenset(crashed)
 
     def cycles(self) -> List[List[int]]:
         """All circular waits, each as ``[r0, r1, ..., r0]``.
@@ -104,7 +111,9 @@ class WaitForGraph:
         for rank in sorted(self.edges):
             source, tag = self.edges[rank]
             note = ""
-            if source not in self.edges:
+            if source in self.crashed:
+                note = "  [source crashed: message can never arrive]"
+            elif source not in self.edges:
                 note = "  [source already finished: message can never arrive]"
             lines.append(
                 f"  rank {rank} -> rank {source}  "

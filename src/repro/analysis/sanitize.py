@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.utils.validation import check_array
 
-__all__ = ["SanitizeError", "enabled", "boundary"]
+__all__ = ["SanitizeError", "enabled", "boundary", "check_payload"]
 
 #: accepted falsy spellings of the environment flag
 _FALSY = ("", "0", "false", "off", "no")
@@ -85,6 +85,20 @@ def _check_result(label: str, value: Any) -> None:
         field = getattr(value, attr, None)
         if isinstance(field, np.ndarray):
             _check_result(f"{label}.{attr}", field)
+
+
+def check_payload(label: str, value: Any) -> None:
+    """Guard a message payload crossing a communication boundary.
+
+    Used by the simulated-MPI scheduler when ``REPRO_SANITIZE=1`` and a
+    fault plan is active: every delivered payload is scanned for
+    non-finite values (recursively, like the :func:`boundary` result
+    check), so a bit flip that produced a NaN/Inf is caught at the
+    *receive* boundary — before it pollutes a sweep — and can trigger a
+    bounded retransmit instead of a silent wrong answer.  Raises
+    :class:`SanitizeError` on the first offending array.
+    """
+    _check_result(label, value)
 
 
 def boundary(

@@ -1,4 +1,4 @@
-"""Deterministic simulated MPI: scheduler, collectives, process topology."""
+"""Deterministic simulated MPI: scheduler, collectives, faults, topology."""
 
 from repro.parallel.simmpi import (
     CommCostModel,
@@ -19,6 +19,18 @@ from repro.parallel.collectives import (
     scatter,
     barrier,
 )
+from repro.parallel.faults import (
+    FaultPlan,
+    RankCrash,
+    MessageFault,
+    FaultEvent,
+    ResilienceReport,
+    RankFailure,
+    RecvTimeout,
+    CorruptionError,
+    payload_checksum,
+    corrupt_payload,
+)
 from repro.parallel.topology import SpaceTimeGrid
 
 __all__ = [
@@ -37,5 +49,15 @@ __all__ = [
     "gather",
     "scatter",
     "barrier",
+    "FaultPlan",
+    "RankCrash",
+    "MessageFault",
+    "FaultEvent",
+    "ResilienceReport",
+    "RankFailure",
+    "RecvTimeout",
+    "CorruptionError",
+    "payload_checksum",
+    "corrupt_payload",
     "SpaceTimeGrid",
 ]

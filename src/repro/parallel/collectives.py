@@ -30,9 +30,21 @@ def _arank(vrank: int, root: int, size: int) -> int:
 
 
 def bcast(
-    comm: VirtualComm, value: Any, root: int = 0, tag: str = "_bcast"
+    comm: VirtualComm,
+    value: Any,
+    root: int = 0,
+    tag: str = "_bcast",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> Generator[Any, Any, Any]:
-    """Binomial-tree broadcast; returns the root's value on every rank."""
+    """Binomial-tree broadcast; returns the root's value on every rank.
+
+    ``timeout`` / ``retries`` / ``backoff`` are threaded into the
+    receive leg so a broadcast over a lossy link (fault-injected drops
+    or corruption) recovers by bounded link-layer retransmission — see
+    :mod:`repro.parallel.faults`.
+    """
     size, rank = comm.size, comm.rank
     if size == 1:
         return value
@@ -41,7 +53,10 @@ def bcast(
     # find the bit at which this rank receives
     while mask < size:
         if me & mask:
-            value = yield comm.recv(_arank(me - mask, root, size), (tag, mask))
+            value = yield comm.recv(
+                _arank(me - mask, root, size), (tag, mask),
+                timeout=timeout, retries=retries, backoff=backoff,
+            )
             break
         mask <<= 1
     # forward to higher vranks

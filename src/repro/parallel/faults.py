@@ -1,0 +1,468 @@
+"""Deterministic fault injection for the simulated-MPI scheduler.
+
+The paper's target regime — PFASST on 262k Blue Gene/P cores — is one
+where hard faults (node loss) and soft faults (bit flips on the wire or
+in memory) are the norm rather than the exception.  This module gives the
+discrete-event scheduler (:mod:`repro.parallel.simmpi`) a *declarative*
+fault model so that the space-time coupling of the solver can be studied
+under failure, reproducibly:
+
+* :class:`RankCrash` — a rank raises :class:`RankFailure` *into* its rank
+  program at a virtual-time or operation-count trigger, modelling a node
+  loss.  The program may catch it (algorithmic recovery, see
+  ``pfasst/controller.py``) or let it propagate (the rank dies).
+* :class:`MessageFault` — per-channel message loss, duplication, extra
+  delay, or bit-level payload corruption on matching sends.
+* :class:`FaultPlan` — a frozen bundle of the above plus a seed.  The
+  plan is *pure data*: all pseudo-randomness is derived by hashing the
+  ``(seed, rule, channel, occurrence)`` identity, never by drawing from a
+  stateful RNG, so injected faults are identical under any scheduler
+  service order — a requirement for the ``verify=True`` replay check.
+* :class:`ResilienceReport` — every injected fault and every recovery
+  action (retransmit, timeout, caught/uncaught crash) with its
+  virtual-clock cost, collected per scheduler run.
+
+With no plan installed the scheduler's fault hooks are never entered and
+the run is byte-identical to the fault-free scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RankCrash",
+    "MessageFault",
+    "FaultPlan",
+    "FaultEvent",
+    "ResilienceReport",
+    "RankFailure",
+    "RecvTimeout",
+    "CorruptionError",
+    "payload_checksum",
+    "corrupt_payload",
+    "CorruptedPayload",
+    "MESSAGE_FAULT_KINDS",
+]
+
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "corrupt")
+
+
+# ---------------------------------------------------------------------------
+# exceptions
+# ---------------------------------------------------------------------------
+class RankFailure(RuntimeError):
+    """A simulated hard fault: the rank's node died.
+
+    Thrown *into* the rank program's generator at an operation boundary.
+    Catching it models a replacement rank taking over (with all local
+    state lost); letting it propagate kills the rank, and the scheduler
+    re-raises at the end of the run (or at the deadlock it provokes).
+    """
+
+    def __init__(self, rank: int, time: float, detail: str = "") -> None:
+        msg = f"rank {rank} crashed at virtual time {time:.9g}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.rank = rank
+        self.time = time
+
+
+class RecvTimeout(RuntimeError):
+    """A receive with ``timeout=`` expired without a deliverable message.
+
+    Thrown into the receiving rank program; the waiting cost has already
+    been charged to its virtual clock.
+    """
+
+    def __init__(
+        self, rank: int, source: int, tag: Hashable, time: float
+    ) -> None:
+        super().__init__(
+            f"rank {rank} timed out waiting for rank {source}, "
+            f"tag={tag!r}, at virtual time {time:.9g}"
+        )
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.time = time
+
+
+class CorruptionError(RuntimeError):
+    """A corrupted payload was detected and retransmission was exhausted."""
+
+    def __init__(
+        self, rank: int, source: int, tag: Hashable, time: float, detail: str
+    ) -> None:
+        super().__init__(
+            f"corrupted payload detected at receive boundary: "
+            f"rank {rank} <- rank {source}, tag={tag!r}, "
+            f"virtual time {time:.9g}; {detail}"
+        )
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.time = time
+
+
+# ---------------------------------------------------------------------------
+# order-independent pseudo-randomness
+# ---------------------------------------------------------------------------
+def _stable_unit(*key: Any) -> float:
+    """Deterministic uniform variate in [0, 1) from a hashable key.
+
+    Hash-derived rather than drawn from a stateful RNG so the value a
+    message receives depends only on the message's *identity* (seed,
+    rule, channel, occurrence), never on the order in which the
+    scheduler happens to process channels — replay verification reverses
+    that order and must see identical faults.
+    """
+    blob = repr(key).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+# ---------------------------------------------------------------------------
+# payload checksum / corruption
+# ---------------------------------------------------------------------------
+def payload_checksum(payload: Any) -> int:
+    """CRC32 over the canonical byte serialisation of a payload.
+
+    Uses :func:`repro.analysis.commcheck.freeze`, so ndarrays are
+    checksummed bit-exactly (dtype, shape and raw bytes) — a single
+    flipped mantissa bit changes the checksum.
+    """
+    from repro.analysis.commcheck import freeze
+
+    return zlib.crc32(freeze(payload))
+
+
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """Replacement payload for objects with no byte-level representation."""
+
+    original_type: str
+
+
+def corrupt_payload(payload: Any, key: Tuple[Any, ...]) -> Any:
+    """Return a deterministically bit-corrupted copy of ``payload``.
+
+    Float arrays and scalars get a single bit flip at a hash-chosen
+    (element, bit) position — the classic silent-data-corruption model,
+    which may produce anything from a last-place perturbation to a
+    NaN/Inf.  Byte strings get one flipped bit; other objects are
+    replaced by a :class:`CorruptedPayload` marker (detected via the
+    checksum either way).
+    """
+    if isinstance(payload, np.ndarray) and payload.dtype.kind == "f":
+        arr = np.ascontiguousarray(payload).copy()
+        if arr.size:
+            flat = arr.reshape(-1).view(np.uint64)
+            idx = int(_stable_unit("elem", *key) * flat.size) % flat.size
+            bit = int(_stable_unit("bit", *key) * 64) % 64
+            flat[idx] ^= np.uint64(1) << np.uint64(bit)
+        return arr
+    if isinstance(payload, float):
+        (bits,) = struct.unpack("<Q", struct.pack("<d", payload))
+        bit = int(_stable_unit("bit", *key) * 64) % 64
+        return struct.unpack("<d", struct.pack("<Q", bits ^ (1 << bit)))[0]
+    if isinstance(payload, (bytes, bytearray)) and len(payload):
+        data = bytearray(payload)
+        idx = int(_stable_unit("byte", *key) * len(data)) % len(data)
+        data[idx] ^= 1 << (int(_stable_unit("bit", *key) * 8) % 8)
+        return bytes(data)
+    if isinstance(payload, int) and not isinstance(payload, bool):
+        bit = int(_stable_unit("bit", *key) * 16) % 16
+        return payload ^ (1 << bit)
+    return CorruptedPayload(original_type=type(payload).__name__)
+
+
+# ---------------------------------------------------------------------------
+# declarative fault rules
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RankCrash:
+    """Crash rule: rank ``rank`` fails once a trigger is reached.
+
+    Exactly one of the triggers must be given:
+
+    ``after_ops``
+        Fire when the rank has yielded this many operations (sends,
+        receives, work and annotate ops all count).  Operation counts
+        are schedule-independent, so this trigger is safe under replay
+        verification.
+    ``at_time``
+        Fire when the rank's virtual clock reaches this value (checked
+        at operation boundaries).  Deterministic only with
+        ``measure_compute=False`` (modelled clocks).
+
+    The failure fires at most once; after a program catches it, the rank
+    continues as its own replacement.
+    """
+
+    rank: int
+    after_ops: Optional[int] = None
+    at_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if (self.after_ops is None) == (self.at_time is None):
+            raise ValueError(
+                "exactly one of after_ops / at_time must be given"
+            )
+        if self.after_ops is not None and self.after_ops < 1:
+            raise ValueError(f"after_ops must be >= 1, got {self.after_ops}")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError(f"at_time must be >= 0, got {self.at_time}")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Message fault rule applied to matching sends.
+
+    Parameters
+    ----------
+    kind :
+        ``"drop"`` (message never delivered; a pristine copy is kept for
+        link-layer retransmission), ``"duplicate"`` (delivered twice),
+        ``"delay"`` (arrival postponed by ``delay`` seconds) or
+        ``"corrupt"`` (payload bit-flipped; pristine copy + checksum
+        kept so the receive boundary can detect and repair it).
+    source, dest, tag :
+        Channel filter; ``None`` matches anything.  Tags are compared
+        for equality (PFASST tags are tuples like ``("lvl", block, lev,
+        k)``).
+    occurrences :
+        Indices of matching messages to hit, counted per ``(source,
+        dest, tag)`` channel in FIFO order; ``None`` hits every match.
+    probability :
+        Keep only this fraction of selected messages, decided by an
+        order-independent hash of the message identity and the plan
+        seed (1.0 = always).
+    delay :
+        Extra arrival delay in seconds, ``kind="delay"`` only.
+    """
+
+    kind: str
+    source: Optional[int] = None
+    dest: Optional[int] = None
+    tag: Optional[Hashable] = None
+    occurrences: Optional[Tuple[int, ...]] = None
+    probability: float = 1.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {MESSAGE_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.kind == "delay" and self.delay == 0.0:
+            raise ValueError('kind="delay" needs a positive delay')
+        if self.kind != "delay" and self.delay != 0.0:
+            raise ValueError(f'delay is only meaningful for kind="delay"')
+        if self.occurrences is not None:
+            occ = tuple(int(i) for i in self.occurrences)
+            if any(i < 0 for i in occ):
+                raise ValueError(f"occurrences must be >= 0, got {occ}")
+            object.__setattr__(self, "occurrences", occ)
+
+    def matches(self, source: int, dest: int, tag: Hashable) -> bool:
+        return (
+            (self.source is None or self.source == source)
+            and (self.dest is None or self.dest == dest)
+            and (self.tag is None or self.tag == tag)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative set of faults for one scheduler run.
+
+    Passive data: the scheduler instantiates a fresh runtime consumer
+    per run (so scheduler reuse and replay verification see identical
+    injections).
+    """
+
+    crashes: Tuple[RankCrash, ...] = ()
+    messages: Tuple[MessageFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "messages", tuple(self.messages))
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashes and not self.messages
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or recovery action on the virtual timeline."""
+
+    kind: str
+    time: float
+    rank: Optional[int] = None
+    source: Optional[int] = None
+    dest: Optional[int] = None
+    tag: Optional[Hashable] = None
+    detail: str = ""
+    #: virtual-clock seconds charged to the affected rank by recovery
+    cost: float = 0.0
+
+    def render(self) -> str:
+        parts = [f"[t={self.time:.9g}] {self.kind}"]
+        if self.rank is not None:
+            parts.append(f"rank={self.rank}")
+        if self.source is not None or self.dest is not None:
+            parts.append(f"channel={self.source}->{self.dest}")
+        if self.tag is not None:
+            parts.append(f"tag={self.tag!r}")
+        if self.cost:
+            parts.append(f"cost={self.cost:.9g}s")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+
+@dataclass
+class ResilienceReport:
+    """Everything the fault layer did during one scheduler run.
+
+    ``injected`` holds the faults the plan fired (crashes, drops,
+    duplicates, delays, corruptions); ``recovered`` holds the recovery
+    actions taken (retransmits, expired timeouts, caught/uncaught
+    crashes) with the virtual-clock cost each one charged.
+    """
+
+    injected: List[FaultEvent] = field(default_factory=list)
+    recovered: List[FaultEvent] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.injected + self.recovered:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    @property
+    def recovery_cost(self) -> float:
+        """Total virtual-clock seconds charged by recovery actions."""
+        return float(sum(ev.cost for ev in self.recovered))
+
+    def summary(self) -> str:
+        if not self.injected and not self.recovered:
+            return "resilience report: no faults injected, no recovery needed"
+        lines = [
+            f"resilience report: {len(self.injected)} fault(s) injected, "
+            f"{len(self.recovered)} recovery action(s), "
+            f"total recovery cost {self.recovery_cost:.9g}s"
+        ]
+        for ev in self.injected:
+            lines.append("  injected:  " + ev.render())
+        for ev in self.recovered:
+            lines.append("  recovered: " + ev.render())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# per-run consumer
+# ---------------------------------------------------------------------------
+@dataclass
+class SendDisposition:
+    """What the fault layer decided for one send."""
+
+    drop: bool = False
+    corrupt: bool = False
+    extra_delay: float = 0.0
+    duplicates: int = 0
+    #: identity key for deterministic corruption bit choice
+    key: Tuple[Any, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.drop
+            and not self.corrupt
+            and self.extra_delay == 0.0
+            and self.duplicates == 0
+        )
+
+
+class FaultRuntime:
+    """Mutable per-run consumer of a :class:`FaultPlan`.
+
+    Tracks which crash rules have fired and, per ``(rule, channel)``,
+    how many matching messages have been seen — the occurrence counters
+    are per channel so they are independent of the order in which the
+    scheduler interleaves different channels.
+    """
+
+    def __init__(self, plan: FaultPlan, report: ResilienceReport) -> None:
+        self.plan = plan
+        self.report = report
+        self._fired_crashes: set = set()
+        self._match_counts: Dict[Tuple[int, int, int, Hashable], int] = {}
+
+    # -- crashes --------------------------------------------------------
+    def crash_due(
+        self, rank: int, ops_done: int, clock: float
+    ) -> Optional[RankCrash]:
+        """First unfired crash rule for ``rank`` whose trigger is reached."""
+        for i, rule in enumerate(self.plan.crashes):
+            if i in self._fired_crashes or rule.rank != rank:
+                continue
+            due = (
+                rule.after_ops is not None and ops_done >= rule.after_ops
+            ) or (rule.at_time is not None and clock >= rule.at_time)
+            if due:
+                self._fired_crashes.add(i)
+                return rule
+        return None
+
+    # -- messages -------------------------------------------------------
+    def on_send(
+        self, source: int, dest: int, tag: Hashable
+    ) -> SendDisposition:
+        """Fold every matching rule into one disposition for this send."""
+        disp = SendDisposition()
+        for i, rule in enumerate(self.plan.messages):
+            if not rule.matches(source, dest, tag):
+                continue
+            counter_key = (i, source, dest, tag)
+            occ = self._match_counts.get(counter_key, 0)
+            self._match_counts[counter_key] = occ + 1
+            if rule.occurrences is not None and occ not in rule.occurrences:
+                continue
+            if rule.probability < 1.0:
+                draw = _stable_unit(
+                    self.plan.seed, i, source, dest, tag, occ
+                )
+                if draw >= rule.probability:
+                    continue
+            disp.key = (self.plan.seed, i, source, dest, tag, occ)
+            if rule.kind == "drop":
+                disp.drop = True
+            elif rule.kind == "duplicate":
+                disp.duplicates += 1
+            elif rule.kind == "delay":
+                disp.extra_delay += rule.delay
+            elif rule.kind == "corrupt":
+                disp.corrupt = True
+        return disp

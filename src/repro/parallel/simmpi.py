@@ -21,6 +21,20 @@ The scheduler is deterministic: message matching is FIFO per
 ``(source, dest, tag)`` channel and independent of the interleaving chosen,
 so numerical results never depend on the (virtual) timing model.
 
+Fault injection (:mod:`repro.parallel.faults`) is opt-in per run: pass a
+``fault_plan`` and the scheduler throws :class:`~repro.parallel.faults.
+RankFailure` into crashing rank programs, drops/duplicates/delays/corrupts
+matching messages, and records everything in a
+:class:`~repro.parallel.faults.ResilienceReport` (``scheduler.resilience``).
+Receives accept ``timeout=`` / ``retries=`` for link-layer recovery: a
+lost or corrupted message is retransmitted from a pristine shadow copy
+(bounded by ``retries``), and a receive that can never be satisfied raises
+:class:`~repro.parallel.faults.RecvTimeout` into the program instead of
+deadlocking.  Timeouts are *lazy*: they only fire when the scheduler has
+proven that no further progress is possible without them, so a timeout
+never fires spuriously, and the fault-free path with no plan installed is
+byte-identical to the plain scheduler.
+
 Example
 -------
 >>> def program(comm):
@@ -44,6 +58,18 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.parallel.faults import (
+    CorruptionError,
+    FaultEvent,
+    FaultPlan,
+    FaultRuntime,
+    RankFailure,
+    RecvTimeout,
+    ResilienceReport,
+    corrupt_payload,
+    payload_checksum,
+)
 
 __all__ = [
     "CommCostModel",
@@ -81,6 +107,20 @@ class CommCostModel:
     #: multiplier applied to measured real compute time
     compute_scale: float = 1.0
 
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.send_overhead < 0:
+            raise ValueError(
+                f"send_overhead must be >= 0, got {self.send_overhead}"
+            )
+        if self.compute_scale <= 0:
+            raise ValueError(
+                f"compute_scale must be > 0, got {self.compute_scale}"
+            )
+
     def transfer_time(self, nbytes: int) -> float:
         return self.latency + nbytes / self.bandwidth
 
@@ -97,7 +137,14 @@ def payload_bytes(payload: Any) -> int:
         return 8
     try:
         return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:  # pragma: no cover - exotic unpicklable payloads
+    except Exception:
+        warnings.warn(
+            f"payload of type {type(payload).__name__!r} is unpicklable; "
+            "assuming 64 bytes on the wire — communication cost-model "
+            "figures for this message are a guess",
+            UserWarning,
+            stacklevel=2,
+        )
         return 64
 
 
@@ -113,6 +160,13 @@ class Send:
 class Recv:
     source: int
     tag: Hashable
+    #: virtual-second budget after which the receive gives up (lazy: only
+    #: expires when the scheduler has proven no progress is possible)
+    timeout: Optional[float] = None
+    #: bounded retransmit attempts for lost/corrupted messages
+    retries: int = 0
+    #: extra virtual seconds charged per retransmit (backoff model)
+    backoff: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -147,6 +201,8 @@ class TraceEvent:
 class _Message:
     payload: Any
     arrival: float
+    #: pristine-payload checksum, set only on fault-injected channels
+    checksum: Optional[int] = None
 
 
 class VirtualComm:
@@ -171,12 +227,26 @@ class VirtualComm:
             raise ValueError("self-sends are not supported")
         return Send(dest, tag, payload)
 
-    def recv(self, source: int, tag: Hashable) -> Recv:
+    def recv(
+        self,
+        source: int,
+        tag: Hashable,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.0,
+    ) -> Recv:
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range 0..{self.size - 1}")
         if source == self.rank:
             raise ValueError("self-receives are not supported")
-        return Recv(source, tag)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 when given, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        return Recv(source, tag, timeout=timeout, retries=retries,
+                    backoff=backoff)
 
     def work(self, seconds: float) -> Work:
         if seconds < 0:
@@ -203,6 +273,8 @@ class _RankState:
     finished: bool = False
     result: Any = None
     send_value: Any = None  # value fed into the generator on next resume
+    recv_op: Optional[Recv] = None  # full op while blocked (timeout/retries)
+    retries_left: int = 0
 
 
 class Scheduler:
@@ -239,6 +311,14 @@ class Scheduler:
         undelivered after every rank finished (see
         :func:`repro.analysis.commcheck.find_orphans`); the structured
         report is kept in :attr:`orphans` either way.
+    fault_plan :
+        Optional :class:`~repro.parallel.faults.FaultPlan`.  When set,
+        crash rules throw :class:`~repro.parallel.faults.RankFailure`
+        into the matching rank programs, message rules drop / duplicate /
+        delay / corrupt matching sends, and :attr:`resilience` records
+        every injection and recovery action.  When ``None`` (default)
+        the fault hooks are never entered and results and virtual clocks
+        are byte-identical to the plain scheduler.
     """
 
     def __init__(
@@ -249,6 +329,7 @@ class Scheduler:
         verify: bool = False,
         service_order: str = "ascending",
         warn_orphans: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
@@ -263,15 +344,47 @@ class Scheduler:
         self.verify = verify
         self.service_order = service_order
         self.warn_orphans = warn_orphans
-        self.clocks: List[float] = [0.0] * n_ranks
+        self.fault_plan = fault_plan
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """Fresh per-run state; called from ``__init__`` and ``run``.
+
+        A ``Scheduler`` instance may be reused: each ``run()`` starts
+        from zeroed clocks, statistics, trace, channels and fault state
+        rather than silently accumulating the previous run's.
+        """
+        self.clocks: List[float] = [0.0] * self.n_ranks
         #: messages in flight / delivered, FIFO per (src, dest, tag)
-        self._channels: Dict[Tuple[int, int, Hashable], deque] = defaultdict(deque)
+        self._channels: Dict[Tuple[int, int, Hashable], deque] = defaultdict(
+            deque
+        )
         self.stats_messages = 0
         self.stats_bytes = 0
         #: annotated timeline instants (populated by Annotate ops)
         self.trace: List[TraceEvent] = []
         #: undelivered-message report of the last completed run
         self.orphans: List[Any] = []
+        #: injected faults and recovery actions of the last run
+        self.resilience = ResilienceReport()
+        #: pristine copies of dropped/corrupted messages for retransmit
+        self._shadow: Dict[Tuple[int, int, Hashable], deque] = defaultdict(
+            deque
+        )
+        #: operations yielded per rank (crash triggers, diagnostics)
+        self.op_counts: List[int] = [0] * self.n_ranks
+        #: uncaught RankFailure per crashed rank
+        self._crashed: Dict[int, RankFailure] = {}
+        self._faults: Optional[FaultRuntime] = (
+            FaultRuntime(self.fault_plan, self.resilience)
+            if self.fault_plan is not None
+            else None
+        )
+        self._sanitize_recv = False
+        if self.fault_plan is not None:
+            from repro.analysis.sanitize import enabled as _sanitize_enabled
+
+            self._sanitize_recv = _sanitize_enabled()
 
     # ------------------------------------------------------------------
     def run(self, program: RankProgram, args: Tuple = ()) -> List[Any]:
@@ -281,6 +394,7 @@ class Scheduler:
         the reversed rank-service order on a scratch scheduler and the
         two result lists must freeze to identical bytes.
         """
+        self._reset_run_state()
         results = self._run_pass(program, args)
         self._report_orphans()
         if self.verify:
@@ -313,9 +427,23 @@ class Scheduler:
                 if state.finished:
                     pending.discard(rank)
             if not progressed:
+                # before declaring deadlock, let a timed-out receive
+                # expire (retransmit or RecvTimeout) — lazy timeouts
+                if self._expire_one_timeout(states, pending):
+                    continue
                 self._raise_deadlock(
                     {r: states[r].blocked_on for r in sorted(pending)}
                 )
+        if self._crashed:
+            first = self._crashed[min(self._crashed)]
+            raise RankFailure(
+                first.rank,
+                first.time,
+                detail=(
+                    "crash was not handled by the rank program "
+                    f"(crashed ranks: {sorted(self._crashed)})"
+                ),
+            )
         return [states[r].result for r in range(self.n_ranks)]
 
     # ------------------------------------------------------------------
@@ -325,16 +453,37 @@ class Scheduler:
         from repro.analysis.commcheck import WaitForGraph
 
         edges = {r: b for r, b in blocked.items() if b is not None}
-        graph = WaitForGraph(edges)
-        raise DeadlockError(
+        graph = WaitForGraph(edges, crashed=frozenset(self._crashed))
+        message = (
             f"simulated MPI deadlock; blocked ranks: {blocked}\n"
             + graph.render()
         )
+        if self._faults is not None:
+            dropped = [
+                ev for ev in self.resilience.injected if ev.kind == "drop"
+            ]
+            if dropped:
+                message += "\nmessages dropped by fault injection:\n" + (
+                    "\n".join("  " + ev.render() for ev in dropped)
+                )
+        if self._crashed:
+            # a crashed rank is the root cause, not the deadlock itself
+            first = self._crashed[min(self._crashed)]
+            raise RankFailure(
+                first.rank, first.time,
+                detail="crash left the remaining ranks blocked\n" + message,
+            )
+        raise DeadlockError(message)
 
     def _report_orphans(self) -> None:
         from repro.analysis.commcheck import find_orphans
 
         self.orphans = find_orphans(self._channels)
+        if self.orphans and self.resilience.recovered:
+            # messages abandoned by a recovery protocol (a retag-and-redo
+            # after a crash) are an expected byproduct, not a protocol
+            # mismatch — keep the structured report, skip the warning
+            return
         if self.orphans and self.warn_orphans:
             report = "\n".join(o.render() for o in self.orphans)
             warnings.warn(
@@ -358,6 +507,9 @@ class Scheduler:
                 else "ascending"
             ),
             warn_orphans=False,
+            # the plan's pseudo-randomness is hash-derived from message
+            # identity, so the replay sees identical injections
+            fault_plan=self.fault_plan,
         )
         replay_results = replay._run_pass(program, args)
         compare_replays(
@@ -378,26 +530,206 @@ class Scheduler:
         if not channel:
             return False
         msg: _Message = channel.popleft()
+        if msg.checksum is not None or self._sanitize_recv:
+            verdict = self._payload_verdict(msg)
+            if verdict is not None:
+                return self._recover_corruption(
+                    rank, state, source, tag, msg, verdict
+                )
         self.clocks[rank] = max(self.clocks[rank], msg.arrival)
         state.blocked_on = None
+        state.recv_op = None
         state.send_value = msg.payload
         return True
 
-    def _advance(self, rank: int, state: _RankState) -> None:
-        """Resume a runnable rank until it blocks or finishes."""
+    def _payload_verdict(self, msg: _Message) -> Optional[str]:
+        """None when the payload is intact, else a diagnostic string."""
+        if (
+            msg.checksum is not None
+            and payload_checksum(msg.payload) != msg.checksum
+        ):
+            return "payload checksum mismatch (injected corruption)"
+        if self._sanitize_recv:
+            from repro.analysis.sanitize import SanitizeError, check_payload
+
+            try:
+                check_payload("recv", msg.payload)
+            except SanitizeError as exc:
+                return f"sanitizer rejected payload: {exc}"
+        return None
+
+    def _recover_corruption(
+        self,
+        rank: int,
+        state: _RankState,
+        source: int,
+        tag: Hashable,
+        msg: _Message,
+        verdict: str,
+    ) -> bool:
+        """Bounded retransmit of a corrupted message from the shadow copy."""
+        t_detect = max(self.clocks[rank], msg.arrival)
+        self.resilience.recovered.append(
+            FaultEvent(
+                kind="corruption-detected", time=t_detect, rank=rank,
+                source=source, dest=rank, tag=tag, detail=verdict,
+            )
+        )
+        recv_op = state.recv_op
+        shadow = self._shadow.get((source, rank, tag))
+        if recv_op is not None and state.retries_left > 0 and shadow:
+            pristine: _Message = shadow.popleft()
+            state.retries_left -= 1
+            cost = recv_op.backoff + self.cost_model.transfer_time(
+                payload_bytes(pristine.payload)
+            )
+            self.clocks[rank] = t_detect + cost
+            self.resilience.recovered.append(
+                FaultEvent(
+                    kind="retransmit", time=self.clocks[rank], rank=rank,
+                    source=source, dest=rank, tag=tag, cost=cost,
+                    detail="pristine copy delivered after corruption",
+                )
+            )
+            state.blocked_on = None
+            state.recv_op = None
+            state.send_value = pristine.payload
+            return True
+        detail = verdict
+        if recv_op is None or recv_op.retries == 0:
+            detail += "; receive specified no retries"
+        elif not shadow:
+            detail += "; no pristine copy available for retransmit"
+        else:
+            detail += f"; {recv_op.retries} retransmit attempt(s) exhausted"
+        raise CorruptionError(rank, source, tag, t_detect, detail)
+
+    def _expire_one_timeout(self, states: List[_RankState],
+                            pending: set) -> bool:
+        """Expire the lowest-rank timed-out receive at a global stall.
+
+        Returns True when a receive was resolved (by shadow-copy
+        retransmit or by throwing :class:`RecvTimeout` into the
+        program), so the scheduling loop can continue.  The expiry
+        order is rank-ascending regardless of ``service_order``:
+        results never depend on it because each expiry only touches the
+        expiring rank's own state and clock.
+        """
+        for rank in sorted(pending):
+            state = states[rank]
+            if state.blocked_on is None or state.recv_op is None:
+                continue
+            recv_op = state.recv_op
+            if recv_op.timeout is None:
+                continue
+            source, tag = state.blocked_on
+            self.clocks[rank] += recv_op.timeout
+            shadow = self._shadow.get((source, rank, tag))
+            if shadow and state.retries_left > 0:
+                pristine: _Message = shadow.popleft()
+                state.retries_left -= 1
+                cost = recv_op.backoff + self.cost_model.transfer_time(
+                    payload_bytes(pristine.payload)
+                )
+                self.clocks[rank] += cost
+                self.resilience.recovered.append(
+                    FaultEvent(
+                        kind="retransmit", time=self.clocks[rank],
+                        rank=rank, source=source, dest=rank, tag=tag,
+                        cost=recv_op.timeout + cost,
+                        detail="lost message recovered after timeout",
+                    )
+                )
+                state.blocked_on = None
+                state.recv_op = None
+                state.send_value = pristine.payload
+                self._advance(rank, state)
+            else:
+                self.resilience.recovered.append(
+                    FaultEvent(
+                        kind="timeout", time=self.clocks[rank], rank=rank,
+                        source=source, dest=rank, tag=tag,
+                        cost=recv_op.timeout,
+                        detail="no message and nothing to retransmit",
+                    )
+                )
+                exc = RecvTimeout(rank, source, tag, self.clocks[rank])
+                state.blocked_on = None
+                state.recv_op = None
+                self._advance(rank, state, throw=exc)
+            if state.finished:
+                pending.discard(rank)
+            return True
+        return False
+
+    def _advance(
+        self,
+        rank: int,
+        state: _RankState,
+        throw: Optional[BaseException] = None,
+    ) -> None:
+        """Resume a runnable rank until it blocks or finishes.
+
+        ``throw`` injects an exception (crash, receive timeout) into the
+        generator instead of sending a value on the first resume.
+        """
         while True:
+            if self._faults is not None and throw is None:
+                crash = self._faults.crash_due(
+                    rank, self.op_counts[rank], self.clocks[rank]
+                )
+                if crash is not None:
+                    throw = RankFailure(rank, self.clocks[rank])
+                    self.resilience.injected.append(
+                        FaultEvent(
+                            kind="crash", time=self.clocks[rank], rank=rank,
+                            detail=(
+                                f"after_ops={crash.after_ops} "
+                                f"at_time={crash.at_time}"
+                            ),
+                        )
+                    )
             t_wall = time.perf_counter()
             try:
-                op = state.gen.send(state.send_value)
+                if throw is not None:
+                    exc, throw = throw, None
+                    op = state.gen.throw(exc)
+                    if isinstance(exc, RankFailure):
+                        self.resilience.recovered.append(
+                            FaultEvent(
+                                kind="crash-handled", time=self.clocks[rank],
+                                rank=rank,
+                                detail="rank program caught RankFailure",
+                            )
+                        )
+                else:
+                    op = state.gen.send(state.send_value)
             except StopIteration as stop:
                 self._charge_compute(rank, t_wall)
                 state.finished = True
                 state.result = stop.value
                 return
+            except RankFailure as failure:
+                # the program did not catch the crash: the rank is dead
+                self._charge_compute(rank, t_wall)
+                state.finished = True
+                state.result = failure
+                self._crashed[rank] = failure
+                self.resilience.recovered.append(
+                    FaultEvent(
+                        kind="crash-uncaught", time=self.clocks[rank],
+                        rank=rank, detail="rank died (policy: fail)",
+                    )
+                )
+                return
             self._charge_compute(rank, t_wall)
             state.send_value = None
 
+            self.op_counts[rank] += 1
             if isinstance(op, Send):
+                if self._faults is not None:
+                    self._faulty_send(rank, op)
+                    continue
                 nbytes = payload_bytes(op.payload)
                 self.clocks[rank] += self.cost_model.send_overhead
                 arrival = self.clocks[rank] + self.cost_model.transfer_time(nbytes)
@@ -409,6 +741,8 @@ class Scheduler:
                 continue  # eager send: keep running this rank
             if isinstance(op, Recv):
                 state.blocked_on = (op.source, op.tag)
+                state.recv_op = op
+                state.retries_left = op.retries
                 if self._try_unblock(rank, state):
                     continue
                 return
@@ -423,6 +757,67 @@ class Scheduler:
                 continue
             raise TypeError(
                 f"rank {rank} yielded unsupported operation {op!r}"
+            )
+
+    def _faulty_send(self, rank: int, op: Send) -> None:
+        """Send path with the fault plan's disposition applied."""
+        disp = self._faults.on_send(rank, op.dest, op.tag)
+        nbytes = payload_bytes(op.payload)
+        self.clocks[rank] += self.cost_model.send_overhead
+        arrival = (
+            self.clocks[rank]
+            + self.cost_model.transfer_time(nbytes)
+            + disp.extra_delay
+        )
+        self.stats_messages += 1
+        self.stats_bytes += nbytes
+        if disp.extra_delay:
+            self.resilience.injected.append(
+                FaultEvent(
+                    kind="delay", time=self.clocks[rank], source=rank,
+                    dest=op.dest, tag=op.tag,
+                    detail=f"arrival postponed by {disp.extra_delay:.9g}s",
+                )
+            )
+        if disp.drop:
+            # keep the pristine copy for link-layer retransmission
+            self._shadow[(rank, op.dest, op.tag)].append(
+                _Message(payload=op.payload, arrival=arrival)
+            )
+            self.resilience.injected.append(
+                FaultEvent(
+                    kind="drop", time=self.clocks[rank], source=rank,
+                    dest=op.dest, tag=op.tag,
+                )
+            )
+            return
+        payload = op.payload
+        checksum = None
+        if disp.corrupt:
+            checksum = payload_checksum(payload)
+            self._shadow[(rank, op.dest, op.tag)].append(
+                _Message(payload=payload, arrival=arrival, checksum=checksum)
+            )
+            payload = corrupt_payload(payload, disp.key)
+            self.resilience.injected.append(
+                FaultEvent(
+                    kind="corrupt", time=self.clocks[rank], source=rank,
+                    dest=op.dest, tag=op.tag,
+                    detail="bit-level payload corruption",
+                )
+            )
+        message = _Message(payload=payload, arrival=arrival,
+                           checksum=checksum)
+        self._channels[(rank, op.dest, op.tag)].append(message)
+        for _ in range(disp.duplicates):
+            self._channels[(rank, op.dest, op.tag)].append(message)
+            self.stats_messages += 1
+            self.stats_bytes += nbytes
+            self.resilience.injected.append(
+                FaultEvent(
+                    kind="duplicate", time=self.clocks[rank], source=rank,
+                    dest=op.dest, tag=op.tag,
+                )
             )
 
     def _charge_compute(self, rank: int, t_start: float) -> None:

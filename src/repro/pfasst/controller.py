@@ -22,23 +22,55 @@ Structure per block:
    apply the interpolated initial-value correction.
 
 Multi-block runs chain blocks by broadcasting the last slice's end value.
+
+Fault tolerance (``config.recovery``): the PFASST iteration is naturally
+resilient — the coarse level carries a usable copy of the solution — so a
+rank lost to a simulated hard fault (:mod:`repro.parallel.faults`) can be
+recovered *algorithmically* instead of by global checkpoint-restart:
+
+* ``"fail"`` (default) — no recovery protocol; a crash kills the run
+  exactly as before this subsystem existed.  The message pattern is
+  byte-identical to the fault-free controller.
+* ``"cold-restart"`` — all ranks abandon the current block and re-run its
+  predictor from the block initial value (which the replacement rank
+  re-fetches from a surviving rank).
+* ``"warm-restart"`` — only the lost rank rebuilds: its left neighbour
+  sends the *coarse-level* end value (the paper's "less accurate but
+  usable copy"), the replacement interpolates it to the fine level, runs
+  predictor-quality coarse sweeps, and iterating continues; surviving
+  ranks keep their state, so reconvergence needs fewer extra iterations
+  than a cold restart.
+
+With recovery enabled, every iteration ends in a small status allreduce
+(crash detection is collective) and neighbour receives carry a timeout so
+a dead sender surfaces as a :class:`~repro.parallel.faults.RecvTimeout`
+instead of a deadlock.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.parallel.collectives import bcast
+from repro.parallel.collectives import allreduce, bcast
+from repro.parallel.faults import FaultPlan, RankFailure, RecvTimeout
 from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
 from repro.pfasst.fas import fas_correction
 from repro.pfasst.level import Level, LevelSpec
 from repro.pfasst.transfer import SpatialTransfer, TimeSpaceTransfer
 from repro.utils.validation import check_positive
 
-__all__ = ["PfasstConfig", "PfasstResult", "run_pfasst", "pfasst_rank_program"]
+__all__ = [
+    "PfasstConfig",
+    "PfasstResult",
+    "RECOVERY_POLICIES",
+    "run_pfasst",
+    "pfasst_rank_program",
+]
+
+RECOVERY_POLICIES = ("fail", "cold-restart", "warm-restart")
 
 
 @dataclass(frozen=True)
@@ -66,6 +98,20 @@ class PfasstConfig:
     #: record begin/end annotations for every sweep on the scheduler's
     #: trace — enables schedule diagrams like the paper's Fig. 6
     trace: bool = False
+    #: crash-recovery policy: ``"fail"`` (no protocol, byte-identical to
+    #: the pre-fault-tolerance controller), ``"cold-restart"`` (redo the
+    #: block from its predictor) or ``"warm-restart"`` (rebuild only the
+    #: lost rank from a neighbour's coarse solution)
+    recovery: str = "fail"
+    #: virtual-time timeout on neighbour receives when recovery is on —
+    #: lazy semantics: it only ever fires at a global stall, so any value
+    #: works and it never expires spuriously (see simmpi docs)
+    recovery_timeout: float = 0.05
+    #: link-layer retransmits per receive before a timeout/corruption is
+    #: escalated to the recovery protocol
+    recovery_retries: int = 1
+    #: restarts allowed per block before the run gives up
+    max_restarts: int = 3
 
     def __post_init__(self) -> None:
         if self.n_steps < 1:
@@ -74,6 +120,23 @@ class PfasstConfig:
             raise ValueError(f"iterations must be >= 1, got {self.iterations}")
         if not self.t_end > self.t0:
             raise ValueError(f"t_end {self.t_end} must be > t0 {self.t0}")
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, "
+                f"got {self.recovery!r}"
+            )
+        if not self.recovery_timeout > 0:
+            raise ValueError(
+                f"recovery_timeout must be > 0, got {self.recovery_timeout}"
+            )
+        if self.recovery_retries < 0:
+            raise ValueError(
+                f"recovery_retries must be >= 0, got {self.recovery_retries}"
+            )
+        if self.max_restarts < 1:
+            raise ValueError(
+                f"max_restarts must be >= 1, got {self.max_restarts}"
+            )
 
     @property
     def dt(self) -> float:
@@ -100,10 +163,25 @@ class PfasstResult:
     #: counters) sampled from the level specs after the run; empty dicts
     #: for problems without an instrumented evaluator
     evaluator_stats: List[Dict[str, int]] = field(default_factory=list)
+    #: V-cycle iterations *attempted* per block, including iterations
+    #: discarded by a restart — ``total_iterations[b] -
+    #: iterations_done[b]`` is the algorithmic recovery overhead
+    total_iterations: List[int] = field(default_factory=list)
+    #: one entry per recovery action the protocol took (block, attempt,
+    #: phase, iteration, policy, failed ranks)
+    recoveries: List[Dict[str, Any]] = field(default_factory=list)
+    #: the scheduler's :class:`~repro.parallel.faults.ResilienceReport`
+    #: (``None``-ish/empty when no fault plan was active)
+    resilience: Optional[Any] = None
 
     @property
     def makespan(self) -> float:
         return max(self.clocks) if self.clocks else 0.0
+
+    @property
+    def recovery_iterations(self) -> int:
+        """Total iterations spent on recovery across all blocks."""
+        return sum(self.total_iterations) - sum(self.iterations_done)
 
 
 def _build_levels(
@@ -121,6 +199,24 @@ def _build_levels(
     return levels, transfers
 
 
+def _merge_ranks(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Allreduce op combining failed-rank sets (commutative, associative)."""
+    return tuple(sorted(set(a) | set(b)))
+
+
+def _merge_status(a, b):
+    """Combine per-rank ``(failed_ranks, residual)`` iteration statuses.
+
+    Piggybacking the residual on the failure-detection allreduce keeps
+    fault-tolerant runs at *one* collective per iteration (instead of a
+    status sync plus a separate ``residual_tol`` reduction) — and, more
+    importantly, keeps the separate reduction out of the unrecoverable
+    window: a crash during a collective is fatal, so fewer collectives
+    mean fewer ops where a crash cannot be recovered.
+    """
+    return (_merge_ranks(a[0], b[0]), max(a[1], b[1]))
+
+
 def pfasst_rank_program(
     comm: VirtualComm,
     config: PfasstConfig,
@@ -132,6 +228,18 @@ def pfasst_rank_program(
 
     Yields simulated-MPI operations; returns a dict with the rank's end
     value, residual history and bookkeeping.
+
+    With ``config.recovery != "fail"`` the program survives injected rank
+    crashes (:class:`~repro.parallel.faults.RankFailure` thrown at an op
+    boundary) during the predictor or a V-cycle iteration: failure
+    detection is collective (a status allreduce after each phase), the
+    block ``attempt`` counter is bumped into every message tag so stale
+    messages from the abandoned phase can never be mistaken for live
+    traffic, and the failed rank rebuilds per the policy.  A crash that
+    lands *inside* the recovery protocol itself (status allreduce, block
+    refetch, donor hand-off, block-end broadcast) is fatal — the same
+    caveat a real fault-tolerant MPI has when the recovery collective
+    itself fails.
     """
     rank, p_time = comm.rank, comm.size
     if config.n_steps % p_time != 0:
@@ -146,40 +254,21 @@ def pfasst_rank_program(
     for lv in levels:
         lv._dt = dt
 
+    ft = config.recovery != "fail"
+    # with recovery off these defaults make every Recv op byte-identical
+    # to the pre-fault-tolerance controller
+    rt = config.recovery_timeout if ft else None
+    rr = config.recovery_retries if ft else 0
+
     u_block = np.asarray(u0, dtype=np.float64).copy()
     residual_history: List[List[float]] = []
     iterations_done: List[int] = []
+    total_iterations: List[int] = []
+    recoveries: List[Dict[str, Any]] = []
 
-    for block in range(n_blocks):
-        t_slice = config.t0 + (block * p_time + rank) * dt
-
-        # -------------------- predictor --------------------------------
-        # restrict the block initial value through the hierarchy
-        u0_by_level = [u_block]
-        for tr in transfers:
-            u0_by_level.append(tr.restrict_state(u0_by_level[-1]))
-        coarsest.u0 = u0_by_level[-1]
-        coarsest.U, coarsest.F = coarsest.sweeper.initialize(
-            t_slice, dt, coarsest.u0, "spread"
-        )
-        for j in range(rank + 1):
-            new_u0 = None
-            if j > 0:
-                new_u0 = yield comm.recv(rank - 1, ("pred", block, j))
-                coarsest.u0 = new_u0
-            if config.trace:
-                yield comm.annotate(f"begin:predict:{j}")
-            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
-                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0
-            )
-            if config.trace:
-                yield comm.annotate(f"end:predict:{j}")
-            if rank < p_time - 1:
-                yield comm.send(
-                    rank + 1, ("pred", block, j + 1), coarsest.end_value
-                )
-
-        # interpolate the predicted solution up through the hierarchy
+    # ---- helpers (closures over the hierarchy) -------------------------
+    def _interpolate_up(t_slice: float) -> None:
+        """Fill the finer levels from the coarsest (predictor epilogue)."""
         for lev in range(n_levels - 2, -1, -1):
             tr = transfers[lev]
             fine, coarse = levels[lev], levels[lev + 1]
@@ -194,124 +283,385 @@ def pfasst_rank_program(
                 fine.F = tr.interpolate_nodes(coarse.F)
             fine.tau = None
 
-        residuals: List[float] = []
-        # -------------------- PFASST iterations ------------------------
-        k_done = 0
-        for k in range(config.iterations):
-            # ---- down the V-cycle ----
-            for lev in range(n_levels - 1):
-                level = levels[lev]
-                tau = level.tau if lev > 0 else None
-                if config.trace:
-                    yield comm.annotate(f"begin:sweep:L{lev}:k{k}")
-                for s in range(level.spec.sweeps):
-                    pass_u0 = level.u0 if (s == 0 and level.u0_dirty) else None
-                    level.U, level.F = level.sweeper.sweep(
-                        t_slice, dt, level.U, level.F,
-                        u0=pass_u0, tau=tau,
-                    )
-                level.u0_dirty = False
-                if config.trace:
-                    yield comm.annotate(f"end:sweep:L{lev}:k{k}")
-                if rank < p_time - 1:
-                    yield comm.send(
-                        rank + 1, ("lvl", block, lev, k), level.end_value
-                    )
-                # restrict and compute FAS for the next level down
-                tr = transfers[lev]
-                coarse = levels[lev + 1]
-                coarse.U = tr.restrict_nodes(level.U)
-                coarse.U_at_restriction = coarse.U.copy()
-                coarse.u0 = tr.restrict_state(level.u0)
-                coarse.F = _evaluate_all(coarse, t_slice, dt)
-                coarse.F_at_restriction = coarse.F.copy()
-                coarse.tau = fas_correction(
-                    dt, tr, level.F, coarse.F,
-                    tau_fine=level.tau if lev > 0 else None,
+    def _predictor(block, attempt, t_slice, u0_by_level):
+        coarsest.u0 = u0_by_level[-1]
+        coarsest.U, coarsest.F = coarsest.sweeper.initialize(
+            t_slice, dt, coarsest.u0, "spread"
+        )
+        for j in range(rank + 1):
+            new_u0 = None
+            if j > 0:
+                new_u0 = yield comm.recv(
+                    rank - 1, ("pred", block, attempt, j),
+                    timeout=rt, retries=rr,
                 )
-
-            # ---- coarsest level ----
-            if rank > 0:
-                coarsest.u0 = yield comm.recv(
-                    rank - 1, ("lvl", block, n_levels - 1, k)
-                )
-            else:
-                coarsest.u0 = u0_by_level[-1]
-            new_u0 = coarsest.u0
+                coarsest.u0 = new_u0
             if config.trace:
-                yield comm.annotate(f"begin:sweep:L{n_levels - 1}:k{k}")
-            for s in range(coarsest.spec.sweeps):
-                coarsest.U, coarsest.F = coarsest.sweeper.sweep(
-                    t_slice, dt, coarsest.U, coarsest.F,
-                    u0=new_u0 if s == 0 else None, tau=coarsest.tau,
-                )
+                yield comm.annotate(f"begin:predict:{j}")
+            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
+                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0
+            )
             if config.trace:
-                yield comm.annotate(f"end:sweep:L{n_levels - 1}:k{k}")
+                yield comm.annotate(f"end:predict:{j}")
             if rank < p_time - 1:
                 yield comm.send(
-                    rank + 1, ("lvl", block, n_levels - 1, k),
+                    rank + 1, ("pred", block, attempt, j + 1),
                     coarsest.end_value,
                 )
+        # interpolate the predicted solution up through the hierarchy
+        _interpolate_up(t_slice)
 
-            # ---- up the V-cycle ----
-            for lev in range(n_levels - 2, -1, -1):
-                tr = transfers[lev]
-                level, coarse = levels[lev], levels[lev + 1]
-                level.U = level.U + tr.interpolate_nodes(
-                    coarse.U - coarse.U_at_restriction
+    def _iteration(block, attempt, k, t_slice, u0_by_level):
+        """One V-cycle; returns the fine-level residual."""
+        # ---- down the V-cycle ----
+        for lev in range(n_levels - 1):
+            level = levels[lev]
+            tau = level.tau if lev > 0 else None
+            if config.trace:
+                yield comm.annotate(f"begin:sweep:L{lev}:k{k}")
+            for s in range(level.spec.sweeps):
+                pass_u0 = level.u0 if (s == 0 and level.u0_dirty) else None
+                level.U, level.F = level.sweeper.sweep(
+                    t_slice, dt, level.U, level.F,
+                    u0=pass_u0, tau=tau,
                 )
-                if config.reeval_after_interp:
-                    level.F = _evaluate_all(level, t_slice, dt)
-                else:
-                    # correct F by the interpolated increment of the
-                    # coarse evaluations since restriction
-                    level.F = level.F + tr.interpolate_nodes(
-                        coarse.F - coarse.F_at_restriction
-                    )
-                # new initial value for this level
-                if rank > 0:
-                    recv_u0 = yield comm.recv(rank - 1, ("lvl", block, lev, k))
-                    delta0 = coarse.u0 - tr.restrict_state(recv_u0)
-                    level.u0 = recv_u0 + tr.interpolate_state(delta0)
-                    level.u0_dirty = True
-                else:
-                    level.u0 = u0_by_level[lev]
-                level.U[0] = level.u0
-                # intermediate levels sweep once more on the way up
-                if 0 < lev:
-                    pass_u0 = level.u0 if level.u0_dirty else None
-                    level.U, level.F = level.sweeper.sweep(
-                        t_slice, dt, level.U, level.F,
-                        u0=pass_u0, tau=level.tau,
-                    )
-                    level.u0_dirty = False
-                elif config.reeval_after_interp and not level.u0_dirty:
-                    # keep the literal-Algorithm-1 mode's F fully
-                    # consistent at node 0 as well
-                    level.F[0] = level.problem.rhs(t_slice, level.u0)
-
-            fine = levels[0]
-            residuals.append(
-                fine.sweeper.residual(dt, fine.U, fine.F, fine.u0)
+            level.u0_dirty = False
+            if config.trace:
+                yield comm.annotate(f"end:sweep:L{lev}:k{k}")
+            if rank < p_time - 1:
+                yield comm.send(
+                    rank + 1, ("lvl", block, attempt, lev, k),
+                    level.end_value,
+                )
+            # restrict and compute FAS for the next level down
+            tr = transfers[lev]
+            coarse = levels[lev + 1]
+            coarse.U = tr.restrict_nodes(level.U)
+            coarse.U_at_restriction = coarse.U.copy()
+            coarse.u0 = tr.restrict_state(level.u0)
+            coarse.F = _evaluate_all(coarse, t_slice, dt)
+            coarse.F_at_restriction = coarse.F.copy()
+            coarse.tau = fas_correction(
+                dt, tr, level.F, coarse.F,
+                tau_fine=level.tau if lev > 0 else None,
             )
-            k_done = k + 1
-            if config.residual_tol is not None:
-                from repro.parallel.collectives import allreduce
 
-                worst = yield from allreduce(
-                    comm, residuals[-1], op=max,
-                    tag=("rtol", block, k),
+        # ---- coarsest level ----
+        if rank > 0:
+            coarsest.u0 = yield comm.recv(
+                rank - 1, ("lvl", block, attempt, n_levels - 1, k),
+                timeout=rt, retries=rr,
+            )
+        else:
+            coarsest.u0 = u0_by_level[-1]
+        new_u0 = coarsest.u0
+        if config.trace:
+            yield comm.annotate(f"begin:sweep:L{n_levels - 1}:k{k}")
+        for s in range(coarsest.spec.sweeps):
+            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
+                t_slice, dt, coarsest.U, coarsest.F,
+                u0=new_u0 if s == 0 else None, tau=coarsest.tau,
+            )
+        if config.trace:
+            yield comm.annotate(f"end:sweep:L{n_levels - 1}:k{k}")
+        if rank < p_time - 1:
+            yield comm.send(
+                rank + 1, ("lvl", block, attempt, n_levels - 1, k),
+                coarsest.end_value,
+            )
+
+        # ---- up the V-cycle ----
+        for lev in range(n_levels - 2, -1, -1):
+            tr = transfers[lev]
+            level, coarse = levels[lev], levels[lev + 1]
+            level.U = level.U + tr.interpolate_nodes(
+                coarse.U - coarse.U_at_restriction
+            )
+            if config.reeval_after_interp:
+                level.F = _evaluate_all(level, t_slice, dt)
+            else:
+                # correct F by the interpolated increment of the
+                # coarse evaluations since restriction
+                level.F = level.F + tr.interpolate_nodes(
+                    coarse.F - coarse.F_at_restriction
                 )
-                if worst <= config.residual_tol:
-                    break
+            # new initial value for this level
+            if rank > 0:
+                recv_u0 = yield comm.recv(
+                    rank - 1, ("lvl", block, attempt, lev, k),
+                    timeout=rt, retries=rr,
+                )
+                delta0 = coarse.u0 - tr.restrict_state(recv_u0)
+                level.u0 = recv_u0 + tr.interpolate_state(delta0)
+                level.u0_dirty = True
+            else:
+                level.u0 = u0_by_level[lev]
+            level.U[0] = level.u0
+            # intermediate levels sweep once more on the way up
+            if 0 < lev:
+                pass_u0 = level.u0 if level.u0_dirty else None
+                level.U, level.F = level.sweeper.sweep(
+                    t_slice, dt, level.U, level.F,
+                    u0=pass_u0, tau=level.tau,
+                )
+                level.u0_dirty = False
+            elif config.reeval_after_interp and not level.u0_dirty:
+                # keep the literal-Algorithm-1 mode's F fully
+                # consistent at node 0 as well
+                level.F[0] = level.problem.rhs(t_slice, level.u0)
+
+        fine = levels[0]
+        return fine.sweeper.residual(dt, fine.U, fine.F, fine.u0)
+
+    def _bump_attempt(attempt, block, failed, phase):
+        if attempt + 1 > config.max_restarts:
+            raise RuntimeError(
+                f"PFASST recovery gave up: block {block} exceeded "
+                f"max_restarts={config.max_restarts} (policy "
+                f"{config.recovery!r}, last failure in {phase} phase, "
+                f"failed ranks {sorted(failed)})"
+            )
+        return attempt + 1
+
+    def _survivors(failed):
+        alive = [r for r in range(p_time) if r not in failed]
+        if not alive:
+            raise RuntimeError(
+                f"PFASST recovery impossible: all {p_time} time ranks "
+                f"failed simultaneously"
+            )
+        return alive
+
+    def _refetch_u_block(failed, block, attempt):
+        """Replacement ranks re-fetch the block initial value.
+
+        Every rank participates (it is a broadcast from the lowest
+        surviving rank), which doubles as the barrier that keeps the
+        recovery lock-step.
+        """
+        root = _survivors(failed)[0]
+        return (
+            yield from bcast(
+                comm, u_block, root=root, tag=("ftub", block, attempt),
+                timeout=rt, retries=rr,
+            )
+        )
+
+    def _warm_rebuild(failed, block, attempt, t_slice, u_blk, u0_by_level):
+        """Warm restart: rebuild failed ranks from a coarse hand-off.
+
+        The nearest *surviving* left neighbour donates its coarse-level
+        slice end value — for a single crash that is exactly the failed
+        slice's initial condition; with neighbouring crashes it is an
+        earlier-time approximation, still a usable predictor seed.  The
+        replacement interpolates it to the fine level, re-restricts,
+        spread-initialises the coarsest level and runs predictor-quality
+        coarse sweeps before rejoining the V-cycle.  Survivors keep all
+        their state.  Returns the (possibly rebuilt) ``u0_by_level``.
+        """
+        alive = _survivors(failed)
+        if rank not in failed:
+            for f in failed:
+                donors = [r for r in alive if r < f]
+                if donors and rank == donors[-1]:
+                    yield comm.send(
+                        f, ("ftwarm", block, attempt, f), coarsest.end_value
+                    )
+            return u0_by_level
+        # --- this rank is the replacement: rebuild from scratch ---
+        donors = [r for r in alive if r < rank]
+        if donors:
+            v = yield comm.recv(
+                donors[-1], ("ftwarm", block, attempt, rank),
+                timeout=rt, retries=rr,
+            )
+            for tr in reversed(transfers):
+                v = tr.interpolate_state(v)
+            u0_new = v
+        else:
+            # no live rank to the left: this is the block's first slice,
+            # whose initial condition is the (re-fetched) block value
+            u0_new = u_blk.copy()
+        for lv in levels:
+            lv.reset()
+        u0s = [u0_new]
+        for tr in transfers:
+            u0s.append(tr.restrict_state(u0s[-1]))
+        coarsest.u0 = u0s[-1]
+        coarsest.U, coarsest.F = coarsest.sweeper.initialize(
+            t_slice, dt, coarsest.u0, "spread"
+        )
+        if config.trace:
+            yield comm.annotate("begin:warm-rebuild")
+        for s in range(coarsest.spec.sweeps):
+            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
+                t_slice, dt, coarsest.U, coarsest.F,
+                u0=coarsest.u0 if s == 0 else None,
+            )
+        if config.trace:
+            yield comm.annotate("end:warm-rebuild")
+        _interpolate_up(t_slice)
+        # rank 0 consumes u0_by_level every iteration; its rebuilt chain
+        # descends from u_blk, which is exactly what it must be
+        return u0s if rank == 0 else u0_by_level
+
+    # ---- main block loop ----------------------------------------------
+    for block in range(n_blocks):
+        t_slice = config.t0 + (block * p_time + rank) * dt
+        attempt = 0
+        iters_attempted = 0
+        residuals: List[float] = []
+        k_done = 0
+        need_predictor = True
+        u0_by_level: List[np.ndarray] = []
+
+        while True:  # re-entered on cold restarts
+            if need_predictor:
+                # restrict the block initial value through the hierarchy
+                u0_by_level = [u_block]
+                for tr in transfers:
+                    u0_by_level.append(tr.restrict_state(u0_by_level[-1]))
+
+                my_crash = False
+                timeout_exc: Optional[RecvTimeout] = None
+                try:
+                    yield from _predictor(block, attempt, t_slice, u0_by_level)
+                except RankFailure:
+                    if not ft:
+                        raise
+                    my_crash = True
+                except RecvTimeout as exc:
+                    if not ft:
+                        raise
+                    timeout_exc = exc
+
+                if ft:
+                    failed = yield from allreduce(
+                        comm, (rank,) if my_crash else (),
+                        op=_merge_ranks, tag=("ftpred", block, attempt),
+                    )
+                    if failed:
+                        # a predictor-phase loss voids the staircase for
+                        # everyone downstream: both policies redo the block
+                        attempt = _bump_attempt(
+                            attempt, block, failed, "predictor"
+                        )
+                        recoveries.append({
+                            "block": block, "attempt": attempt,
+                            "phase": "predictor", "k": None,
+                            "policy": config.recovery,
+                            "failed_ranks": list(failed),
+                        })
+                        u_block = yield from _refetch_u_block(
+                            failed, block, attempt
+                        )
+                        if rank in failed:
+                            for lv in levels:
+                                lv.reset()
+                        continue
+                    if timeout_exc is not None:
+                        raise RuntimeError(
+                            "PFASST recovery protocol hole: a receive "
+                            "timed out but the status allreduce reports "
+                            "no failed rank — a message was lost past its "
+                            f"retransmit budget (retries={rr}); original "
+                            f"timeout: {timeout_exc}"
+                        )
+                need_predictor = False
+                residuals = []
+                k_done = 0
+                k = 0
+
+            # -------------------- PFASST iterations --------------------
+            finished_block = True
+            while k < config.iterations:
+                iters_attempted += 1
+                my_crash = False
+                timeout_exc = None
+                res: Optional[float] = None
+                try:
+                    res = yield from _iteration(
+                        block, attempt, k, t_slice, u0_by_level
+                    )
+                except RankFailure:
+                    if not ft:
+                        raise
+                    my_crash = True
+                except RecvTimeout as exc:
+                    if not ft:
+                        raise
+                    timeout_exc = exc
+
+                if ft:
+                    status = (
+                        (rank,) if my_crash else (),
+                        float("inf") if res is None else res,
+                    )
+                    failed, worst = yield from allreduce(
+                        comm, status,
+                        op=_merge_status, tag=("ftsync", block, attempt, k),
+                    )
+                    if failed:
+                        attempt = _bump_attempt(
+                            attempt, block, failed, "iteration"
+                        )
+                        recoveries.append({
+                            "block": block, "attempt": attempt,
+                            "phase": "iteration", "k": k,
+                            "policy": config.recovery,
+                            "failed_ranks": list(failed),
+                        })
+                        u_block = yield from _refetch_u_block(
+                            failed, block, attempt
+                        )
+                        if config.recovery == "cold-restart":
+                            if rank in failed:
+                                for lv in levels:
+                                    lv.reset()
+                            need_predictor = True
+                            finished_block = False
+                            break  # back out to redo the whole block
+                        # warm restart: rebuild the lost ranks in place,
+                        # then redo iteration k under the new attempt
+                        u0_by_level = yield from _warm_rebuild(
+                            failed, block, attempt, t_slice, u_block,
+                            u0_by_level,
+                        )
+                        continue
+                    if timeout_exc is not None:
+                        raise RuntimeError(
+                            "PFASST recovery protocol hole: a receive "
+                            "timed out but the status allreduce reports "
+                            "no failed rank — a message was lost past its "
+                            f"retransmit budget (retries={rr}); original "
+                            f"timeout: {timeout_exc}"
+                        )
+
+                residuals.append(res)
+                k_done = k + 1
+                if config.residual_tol is not None:
+                    if not ft:
+                        # the ftsync allreduce already carried the
+                        # residual when recovery is on
+                        worst = yield from allreduce(
+                            comm, residuals[-1], op=max,
+                            tag=("rtol", block, attempt, k),
+                        )
+                    if worst <= config.residual_tol:
+                        break
+                k += 1
+
+            if finished_block:
+                break
 
         iterations_done.append(k_done)
+        total_iterations.append(iters_attempted)
         residual_history = [residuals]  # keep the last block's history
 
         # chain blocks: broadcast the final slice's end value
         u_block = yield from bcast(
             comm, levels[0].end_value, root=p_time - 1,
-            tag=f"_blockend{block}",
+            tag=("blockend", block, attempt),
         )
 
     return {
@@ -320,6 +670,8 @@ def pfasst_rank_program(
         "block_end": u_block,
         "residuals": residual_history[0] if residual_history else [],
         "iterations_done": iterations_done,
+        "total_iterations": total_iterations,
+        "recoveries": recoveries,
     }
 
 
@@ -363,6 +715,8 @@ def run_pfasst(
     measure_compute: bool = False,
     spatial: Optional[Sequence[SpatialTransfer]] = None,
     verify: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    service_order: str = "ascending",
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
 
@@ -371,12 +725,16 @@ def run_pfasst(
     irrelevant and scheduling overhead should be minimal.
     ``verify=True`` re-runs the whole block pipeline under the reversed
     rank-service order and requires byte-identical results (the
-    scheduler's race-detector replay; roughly doubles the run time).
+    scheduler's race-detector replay; roughly doubles the run time —
+    fault injection is replay-stable, so this composes with a plan).
+    ``fault_plan`` injects crashes / link faults
+    (:mod:`repro.parallel.faults`); pair it with
+    ``config.recovery != "fail"`` for the run to survive them.
     """
     check_positive("p_time", p_time)
     scheduler = Scheduler(
         p_time, cost_model=cost_model, measure_compute=measure_compute,
-        verify=verify,
+        verify=verify, fault_plan=fault_plan, service_order=service_order,
     )
     results = scheduler.run(
         pfasst_rank_program, args=(config, specs, np.asarray(u0), spatial)
@@ -390,4 +748,7 @@ def run_pfasst(
         iterations_done=by_rank[0]["iterations_done"],
         trace=list(scheduler.trace),
         evaluator_stats=_collect_evaluator_stats(specs),
+        total_iterations=by_rank[0]["total_iterations"],
+        recoveries=by_rank[0]["recoveries"],
+        resilience=scheduler.resilience,
     )

@@ -66,6 +66,22 @@ class Level:
         self.U_at_restriction: Optional[np.ndarray] = None
         self.F_at_restriction: Optional[np.ndarray] = None
 
+    def reset(self) -> None:
+        """Discard all runtime state, as if the owning rank's node died.
+
+        Used by the fault-tolerant PFASST controller: a crashed rank's
+        replacement starts from wiped levels and rebuilds them from a
+        neighbour's coarse solution (warm restart) or from the block's
+        predictor (cold restart).
+        """
+        self.U = None
+        self.F = None
+        self.tau = None
+        self.u0 = None
+        self.u0_dirty = True
+        self.U_at_restriction = None
+        self.F_at_restriction = None
+
     @property
     def problem(self) -> ODEProblem:
         return self.spec.problem

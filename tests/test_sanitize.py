@@ -43,16 +43,28 @@ def sanitized_modules(monkeypatch):
     importlib.reload(sweeper_mod)
 
 
+#: the three tests below assert the *unset-flag* contract; under the CI
+#: job that exports REPRO_SANITIZE=1 for the whole process they do not
+#: apply (TestBoundaryDecorator covers the armed path via reload).
+_ambient_sanitize = pytest.mark.skipif(
+    sanitize_mod.enabled(),
+    reason="REPRO_SANITIZE set in the environment; off-path contract n/a",
+)
+
+
 class TestGate:
+    @_ambient_sanitize
     def test_disabled_by_default(self):
         assert not sanitize_mod.enabled()
 
+    @_ambient_sanitize
     def test_disabled_decorator_returns_function_unchanged(self):
         def fn(x):
             return x
 
         assert sanitize_mod.boundary("b", arrays=["x"])(fn) is fn
 
+    @_ambient_sanitize
     def test_shipped_sweep_is_undecorated(self):
         """Zero-overhead contract: without the flag there is no wrapper."""
         assert not hasattr(sweeper_mod.ExplicitSDCSweeper.sweep, "__wrapped__")

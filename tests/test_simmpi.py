@@ -283,3 +283,61 @@ def test_allreduce_equals_serial_sum(n_ranks, values):
 
     res = Scheduler(n_ranks, measure_compute=False).run(prog)
     assert res == [sum(values[:n_ranks])] * n_ranks
+
+
+class TestCostModelValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            CommCostModel(latency=-1.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            CommCostModel(bandwidth=0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="send_overhead"):
+            CommCostModel(send_overhead=-0.1)
+
+    def test_nonpositive_compute_scale_rejected(self):
+        with pytest.raises(ValueError, match="compute_scale"):
+            CommCostModel(compute_scale=0.0)
+
+
+def test_unpicklable_payload_warns_with_type_name():
+    with pytest.warns(UserWarning, match="unpicklable"):
+        size = payload_bytes(lambda: None)
+    assert size == 64
+    with pytest.warns(UserWarning, match="function"):
+        payload_bytes(lambda: None)
+
+
+class TestSchedulerReuse:
+    """A Scheduler instance must be reusable: per-run state resets."""
+
+    def _prog(self, comm):
+        if comm.rank == 0:
+            yield comm.send(1, "t", np.arange(4.0))
+            yield comm.annotate("sent")
+        else:
+            v = yield comm.recv(0, "t")
+            return float(v.sum())
+
+    def test_second_run_matches_first(self):
+        model = CommCostModel(latency=0.5, bandwidth=1e6, send_overhead=0.1)
+        s = Scheduler(2, cost_model=model, measure_compute=False)
+        first = (
+            s.run(self._prog), tuple(s.clocks), s.stats_messages,
+            s.stats_bytes, len(s.trace),
+        )
+        second = (
+            s.run(self._prog), tuple(s.clocks), s.stats_messages,
+            s.stats_bytes, len(s.trace),
+        )
+        assert first == second
+
+    def test_stats_do_not_accumulate_across_runs(self):
+        s = Scheduler(2, measure_compute=False)
+        s.run(self._prog)
+        msgs = s.stats_messages
+        s.run(self._prog)
+        assert s.stats_messages == msgs  # not doubled
