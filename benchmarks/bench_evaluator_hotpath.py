@@ -16,6 +16,14 @@ Also reports the per-phase breakdown (tree_build / moments / traverse /
 layout / far_field / near_field) and the cache counters, and writes
 everything to ``BENCH_evaluator.json`` at the repository root.
 
+The hot path carries observability hooks (:mod:`repro.obs`): every row
+additionally times a warm evaluation with an *active* tracer and metrics
+registry and reports the relative overhead (``tracer_on_overhead_pct``,
+expected single-digit percent; with the default null tracer the hooks
+reduce to one attribute check per phase).  Pass ``--traced`` to also
+write ``BENCH_evaluator_trace.json`` — the wall-clock phase spans of one
+traced evaluation, viewable with ``repro-trace summarize``.
+
 Run directly (``python benchmarks/bench_evaluator_hotpath.py``); the
 pytest entry points are marked ``slow`` and excluded from tier-1.
 """
@@ -30,6 +38,7 @@ from typing import Dict, List
 
 import pytest
 
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 from repro.tree import TreeEvaluator
 from repro.tree.reference import reference_vortex_field
 from repro.vortex import get_kernel, spherical_vortex_sheet
@@ -79,6 +88,11 @@ def bench_size(n: int, repeats: int = 3) -> Dict:
     # warm: identical state, every pipeline stage cached
     fine.field(pos, ch)
     warm_fine_s = _best_of(lambda: fine.field(pos, ch), repeats)
+
+    # same warm evaluation with tracing + metrics actually recording
+    with use_tracer(Tracer()), use_metrics(MetricsRegistry()):
+        traced_warm_s = _best_of(lambda: fine.field(pos, ch), repeats)
+
     fine.cache.clear()
     fine.phases.reset()
     t0 = time.perf_counter()
@@ -93,6 +107,9 @@ def bench_size(n: int, repeats: int = 3) -> Dict:
         "pair_speedup": round(seed_s / cold_s, 3),
         "batched_fine_cold_s": round(cold_fine_s, 6),
         "batched_fine_warm_s": round(warm_fine_s, 6),
+        "traced_fine_warm_s": round(traced_warm_s, 6),
+        "tracer_on_overhead_pct": round(
+            (traced_warm_s / warm_fine_s - 1.0) * 100.0, 2),
         "cache_hit_speedup": round(cold_fine_s / warm_fine_s, 3),
         "phases_cold_fine": phases,
         "cache_stats": fine.cache_stats.as_dict(),
@@ -148,6 +165,22 @@ def test_cache_hit_speedup():
     assert row["batched_fine_warm_s"] <= 1.05 * row["batched_fine_cold_s"]
 
 
+def export_phase_trace(n: int = 8192) -> Path:
+    """One cold traced evaluation; writes the phase spans as a trace file."""
+    from repro.obs import save_trace
+
+    cfg = SheetConfig(n=n, sigma_over_h=3.0)
+    ps = spherical_vortex_sheet(cfg)
+    fine = TreeEvaluator(get_kernel("algebraic6"), cfg.sigma,
+                         theta=THETA_FINE, leaf_size=LEAF_SIZE)
+    tracer = Tracer(meta={"benchmark": "evaluator_hotpath", "n": n})
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        fine.field(ps.positions, ps.charges)
+    out = OUT_PATH.with_name("BENCH_evaluator_trace.json")
+    return save_trace(tracer, out, metrics=metrics)
+
+
 def main(argv: List[str]) -> None:
     sizes = SIZES[:2] if "--quick" in argv else SIZES
     data = run_experiment(sizes)
@@ -157,7 +190,12 @@ def main(argv: List[str]) -> None:
         print(f"N={row['n']:>6}: seed pair {row['seed_pair_s']:.3f}s, "
               f"batched pair {row['batched_pair_cold_s']:.3f}s "
               f"({row['pair_speedup']:.1f}x), cache-hit "
-              f"{row['cache_hit_speedup']:.1f}x")
+              f"{row['cache_hit_speedup']:.1f}x, tracer-on overhead "
+              f"{row['tracer_on_overhead_pct']:+.1f}%")
+    if "--traced" in argv:
+        trace_path = export_phase_trace(sizes[-1])
+        print(f"wrote {trace_path} "
+              f"(inspect with:  repro-trace summarize {trace_path})")
 
 
 if __name__ == "__main__":

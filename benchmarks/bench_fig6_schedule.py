@@ -12,12 +12,19 @@ properties the figure illustrates:
 * fine sweeps of the *same* iteration overlap across ranks (pipelining —
   the whole point of the parallel-in-time construction),
 * every rank performs exactly the prescribed number of sweep phases.
+
+Run directly, the benchmark also records the schedule with a
+:class:`repro.obs.Tracer` and writes ``BENCH_fig6_trace.json`` (native
+repro-trace format, inspect with ``repro-trace summarize``) and
+``BENCH_fig6_trace.chrome.json`` (open at https://ui.perfetto.dev) next
+to the repository root.
 """
 
 from __future__ import annotations
 
 import sys
 from collections import defaultdict
+from pathlib import Path
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -39,7 +46,8 @@ class _CostedScalar(ODEProblem):
         return -u * u + np.sin(3.0 * t)
 
 
-def run_schedule(p_time: int = P_TIME, iterations: int = ITERATIONS):
+def run_schedule(p_time: int = P_TIME, iterations: int = ITERATIONS,
+                 tracer=None):
     problem = _CostedScalar()
     cfg = PfasstConfig(t0=0.0, t_end=1.0 * p_time, n_steps=p_time,
                        iterations=iterations, trace=True)
@@ -50,6 +58,7 @@ def run_schedule(p_time: int = P_TIME, iterations: int = ITERATIONS):
     res = run_pfasst(
         cfg, specs, np.array([1.0]), p_time=p_time,
         cost_model=CommCostModel(), measure_compute=True,
+        tracer=tracer,
     )
     return res
 
@@ -135,37 +144,23 @@ def test_benchmark_traced_run(benchmark):
     benchmark(lambda: run_schedule(p_time=2, iterations=1))
 
 
-def render_ascii(schedule, width: int = 78) -> str:
-    """ASCII Gantt chart of the traced schedule (the Fig. 6 analogue)."""
-    t_max = max(t1 for items in schedule.values() for _, _, t1 in items)
-    t_max = max(t_max, 1e-9)
-    lines = []
-    glyph = {"predict": "p", "sweep:L0": "F", "sweep:L1": "c"}
-    for rank in sorted(schedule):
-        row = [" "] * width
-        for name, t0, t1 in schedule[rank]:
-            g = "?"
-            for prefix, ch in glyph.items():
-                if name.startswith(prefix):
-                    g = ch
-            a = int(t0 / t_max * (width - 1))
-            b = max(a + 1, int(t1 / t_max * (width - 1)))
-            for i in range(a, min(b, width)):
-                row[i] = g
-        lines.append(f"P{rank} |" + "".join(row))
-    lines.append("    " + "-" * width)
-    lines.append("    p = predictor (coarse), F = fine sweep, "
-                 "c = coarse sweep; time ->")
-    return "\n".join(lines)
-
-
 def main(argv: List[str]) -> None:
-    res = run_schedule()
-    sched = intervals_by_rank(res.trace)
+    from repro.obs import Tracer, export_chrome_trace, render_ascii, save_trace
+
+    tracer = Tracer(meta={"benchmark": "fig6_schedule", "p_time": P_TIME,
+                          "iterations": ITERATIONS})
+    res = run_schedule(tracer=tracer)
     print(f"Fig. 6 — PFASST schedule, {P_TIME} time ranks, "
           f"{ITERATIONS} iterations, PFASST(2,2)")
-    print(render_ascii(sched))
+    print(render_ascii(tracer.spans))
     print(f"\nmakespan: {res.makespan * 1e3:.2f} ms virtual")
+    root = Path(__file__).resolve().parent.parent
+    trace_path = save_trace(tracer, root / "BENCH_fig6_trace.json",
+                            metrics=res.metrics)
+    chrome_path = export_chrome_trace(
+        tracer, root / "BENCH_fig6_trace.chrome.json")
+    print(f"wrote {trace_path} and {chrome_path}")
+    print(f"inspect with:  repro-trace summarize {trace_path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,166 @@
+"""Markdown link checker for the project documentation.
+
+Walks the inline links of the given markdown files and verifies every
+**internal** link:
+
+* relative file links (``[guide](docs/observability.md)``) must point at
+  an existing file or directory, resolved against the linking file's
+  directory;
+* fragment links (``...md#span-naming`` or ``#local-anchor``) must match
+  a heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to dashes);
+* external links (``http(s)://``, ``mailto:``) are *not* fetched — CI
+  must stay offline — but their URL syntax is sanity-checked.
+
+Code spans and fenced code blocks are ignored, so documentation may show
+literal link syntax in examples.  Exit status: 0 when all links resolve,
+1 when any are broken, 2 on usage errors.
+
+Usage::
+
+    python -m repro.analysis.linkcheck README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+__all__ = ["Broken", "check_files", "markdown_anchors", "main"]
+
+#: inline markdown link: [text](target) — target captured lazily so a
+#: trailing ")" in prose does not leak in; images (![alt](src)) match too
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_HEADING_RE = re.compile(r"^\s{0,3}(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+#: characters GitHub drops when slugifying a heading
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]")
+
+
+@dataclass(frozen=True)
+class Broken:
+    """One unresolvable link."""
+
+    file: str
+    line: int
+    target: str
+    reason: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: broken link '{self.target}' — {self.reason}"
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = _SLUG_STRIP_RE.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def markdown_anchors(path: Path) -> Set[str]:
+    """Every anchor a markdown file defines (heading slugs, deduplicated
+    the way GitHub does: repeated slugs get ``-1``, ``-2``, ... suffixes)."""
+    anchors: Set[str] = set()
+    seen: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = _slugify(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def _iter_links(path: Path) -> Iterable[tuple]:
+    """Yield ``(line_number, target)`` for every inline link."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = _CODE_SPAN_RE.sub("", line)
+        for m in _LINK_RE.finditer(stripped):
+            yield lineno, m.group(1)
+
+
+def _check_link(path: Path, lineno: int, target: str) -> Optional[Broken]:
+    rel = str(path)
+    if _EXTERNAL_RE.match(target):
+        if target.startswith(("http://", "https://", "mailto:")):
+            return None
+        return Broken(rel, lineno, target,
+                      f"unrecognised URL scheme {target.split(':')[0]!r}")
+    base, _, fragment = target.partition("#")
+    if base:
+        dest = (path.parent / base).resolve()
+        if not dest.exists():
+            return Broken(rel, lineno, target, f"no such file: {base}")
+    else:
+        dest = path.resolve()
+    if fragment:
+        if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+            return None  # anchors into non-markdown targets: not checkable
+        if fragment.lower() not in markdown_anchors(dest):
+            return Broken(rel, lineno, target,
+                          f"no heading for anchor '#{fragment}' in "
+                          f"{dest.name}")
+    return None
+
+
+def check_files(paths: Sequence[Path]) -> List[Broken]:
+    """Check every internal link in the given markdown files."""
+    broken: List[Broken] = []
+    for path in paths:
+        for lineno, target in _iter_links(path):
+            fail = _check_link(path, lineno, target)
+            if fail is not None:
+                broken.append(fail)
+    return broken
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-linkcheck",
+        description="verify internal links in project markdown files",
+    )
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    args = parser.parse_args(argv)
+
+    paths = [Path(f) for f in args.files]
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        for p in missing:
+            print(f"repro-linkcheck: no such file: {p}", file=sys.stderr)
+        return 2
+    broken = check_files(paths)
+    for b in broken:
+        print(b.render())
+    n_links = sum(1 for p in paths for _ in _iter_links(p))
+    if broken:
+        print(f"repro-linkcheck: {len(broken)} broken link(s) out of "
+              f"{n_links} across {len(paths)} file(s)", file=sys.stderr)
+        return 1
+    print(f"repro-linkcheck: {n_links} links OK across {len(paths)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

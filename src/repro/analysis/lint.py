@@ -10,8 +10,9 @@ RPR001
     irreproducible.  Pass an explicit seed (or a ``Generator``) instead.
 RPR002
     Nondeterminism sources: wall-clock reads (``time.time``,
-    ``time.perf_counter``, ...) outside the two modules whose *job* is
-    timing (``parallel/simmpi.py``, ``utils/timing.py``); iteration over
+    ``time.perf_counter``, ...) outside the modules whose *job* is
+    timing (``parallel/simmpi.py``, ``utils/timing.py``,
+    ``obs/timing.py``, ``obs/tracer.py``); iteration over
     ``set``/``frozenset`` expressions (hash order of floats and arrays is
     run-dependent under PYTHONHASHSEED); order-dependent reductions
     (``sum``, ``functools.reduce``) over set expressions.  Normalise with
@@ -86,10 +87,14 @@ HOT_MODULES: Tuple[str, ...] = (
     "nbody/direct.py",
 )
 
-#: modules allowed to read the wall clock (RPR002 scope)
+#: modules allowed to read the wall clock (RPR002 scope) — the virtual
+#: clock bridge, the phase timers and the tracer; everything else must
+#: route timing through them
 WALLCLOCK_ALLOWED: Tuple[str, ...] = (
     "parallel/simmpi.py",
     "utils/timing.py",
+    "obs/timing.py",
+    "obs/tracer.py",
 )
 
 _LEGACY_RANDOM = frozenset(

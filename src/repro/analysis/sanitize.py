@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
 from repro.utils.validation import check_array
 
 __all__ = ["SanitizeError", "enabled", "boundary", "check_payload"]
@@ -46,6 +47,13 @@ class SanitizeError(FloatingPointError):
     """A NaN/Inf or contract violation crossed a sanitized boundary."""
 
 
+def _record_activation() -> None:
+    """Count a tripped sanitizer on the active metrics registry."""
+    m = get_metrics()
+    if m.enabled:
+        m.counter("sanitize.activations").inc()
+
+
 def enabled() -> bool:
     """True when ``REPRO_SANITIZE`` is set to a truthy value."""
     return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in _FALSY
@@ -56,6 +64,7 @@ def _check(label: str, arr: np.ndarray,
     try:
         check_array(label, arr, shape=shape, finite=True)
     except ValueError as exc:
+        _record_activation()
         raise SanitizeError(str(exc)) from None
 
 
@@ -68,6 +77,7 @@ def _check_result(label: str, value: Any) -> None:
     if isinstance(value, np.ndarray):
         if value.dtype.kind == "f" and not np.all(np.isfinite(value)):
             bad = int(np.count_nonzero(~np.isfinite(value)))
+            _record_activation()
             raise SanitizeError(
                 f"{label} produced {bad} non-finite value(s) "
                 f"in an array of shape {value.shape}"

@@ -9,6 +9,9 @@ Commands
     invariant drift (a quick end-to-end smoke run).
 ``speedup``
     Miniature Fig. 8: measured vs theoretical PFASST speedup.
+``trace``
+    Inspect, export and diff observability trace files — forwards to the
+    ``repro-trace`` tool (:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -51,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     speed.add_argument("-n", type=int, default=500)
     speed.add_argument("--steps", type=int, default=4)
     speed.add_argument("--p-times", type=int, nargs="+", default=[1, 2, 4])
+
+    trace = sub.add_parser(
+        "trace", help="summarize/export/gantt/diff trace files "
+        "(same as the repro-trace tool)", add_help=False,
+    )
+    trace.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro-trace")
     return parser
 
 
@@ -158,6 +168,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sheet(args)
     if args.command == "speedup":
         return _cmd_speedup(args)
+    if args.command == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(args.rest)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,215 @@
+"""``repro-trace`` — inspect, export and compare trace files.
+
+Subcommands (all consume the *native* trace format written by
+:func:`repro.obs.export.save_trace`):
+
+``summarize FILE``
+    Per-track span totals (grouped by family), instant counts, metrics
+    snapshot and virtual makespan.
+``export FILE -o OUT [--format chrome|csv|metrics-json|metrics-csv]``
+    Convert to Chrome ``trace_event`` JSON (Perfetto-loadable), a flat
+    span CSV, or a metrics dump.
+``gantt FILE [--width N] [--svg OUT] [--cats phase,comm]``
+    ASCII Gantt chart of the schedule (Fig. 6 view); optionally write an
+    SVG alongside.
+``diff A B``
+    Compare per-(track, family) busy time and makespan of two traces —
+    the before/after view for performance work.
+
+Also reachable as ``python -m repro trace <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import (
+    TraceData,
+    chrome_trace,
+    export_chrome_trace,
+    load_trace,
+    spans_to_csv,
+)
+from repro.obs.gantt import render_ascii, render_svg, span_family
+
+__all__ = ["main", "build_parser", "summarize_text", "diff_text"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="inspect, export and diff repro observability traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-track totals and metrics")
+    p_sum.add_argument("file", help="native trace JSON")
+
+    p_exp = sub.add_parser("export", help="convert to chrome/csv/metrics")
+    p_exp.add_argument("file", help="native trace JSON")
+    p_exp.add_argument("-o", "--output", required=True, help="output path")
+    p_exp.add_argument("--format", default="chrome",
+                       choices=["chrome", "csv", "metrics-json",
+                                "metrics-csv"])
+
+    p_gantt = sub.add_parser("gantt", help="ASCII/SVG schedule chart")
+    p_gantt.add_argument("file", help="native trace JSON")
+    p_gantt.add_argument("--width", type=int, default=78)
+    p_gantt.add_argument("--svg", default=None,
+                         help="also write an SVG rendering to this path")
+    p_gantt.add_argument("--cats", default="phase",
+                         help="comma-separated span categories to draw")
+
+    p_diff = sub.add_parser("diff", help="compare two traces")
+    p_diff.add_argument("a", help="baseline trace JSON")
+    p_diff.add_argument("b", help="candidate trace JSON")
+    return parser
+
+
+# -- summarize -------------------------------------------------------------
+def _busy_by_track_family(
+    data: TraceData,
+) -> Dict[Tuple[str, str], Tuple[float, int]]:
+    """(track, family) -> (total busy seconds on the span's clock, count)."""
+    out: Dict[Tuple[str, str], Tuple[float, int]] = defaultdict(
+        lambda: (0.0, 0)
+    )
+    for s in data.spans:
+        key = (s.track, span_family(s.name))
+        total, count = out[key]
+        out[key] = (total + s.duration, count + 1)
+    return dict(out)
+
+
+def _makespan(data: TraceData) -> float:
+    return max((s.t1 for s in data.spans if s.clock == "virtual"),
+               default=0.0)
+
+
+def summarize_text(data: TraceData) -> str:
+    lines: List[str] = []
+    n_v = sum(1 for s in data.spans if s.clock == "virtual")
+    n_w = len(data.spans) - n_v
+    lines.append(f"spans: {len(data.spans)} ({n_v} virtual, {n_w} wall); "
+                 f"instants: {len(data.instants)}; "
+                 f"tracks: {', '.join(data.tracks()) or '(none)'}")
+    makespan = _makespan(data)
+    if makespan:
+        lines.append(f"virtual makespan: {makespan:.6g}s")
+    if data.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(data.meta.items()))
+        lines.append(f"meta: {meta}")
+    busy = _busy_by_track_family(data)
+    if busy:
+        lines.append("")
+        lines.append(f"{'track':<10s} {'span family':<24s} "
+                     f"{'count':>6s} {'busy [s]':>12s}")
+        for (track, family), (total, count) in sorted(busy.items()):
+            lines.append(f"{track:<10s} {family:<24s} {count:>6d} "
+                         f"{total:>12.6g}")
+    if data.instants:
+        counts: Dict[str, int] = defaultdict(int)
+        for i in data.instants:
+            counts[i.cat or i.name] += 1
+        rendered = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"instants by kind: {rendered}")
+    metrics = data.metrics or {}
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40s} {counters[name]}")
+    for kind in ("gauges", "histograms"):
+        entries = metrics.get(kind, {})
+        if entries:
+            lines.append(f"{kind}:")
+            for name in sorted(entries):
+                lines.append(f"  {name:<40s} {entries[name]}")
+    return "\n".join(lines)
+
+
+# -- diff ------------------------------------------------------------------
+def diff_text(a: TraceData, b: TraceData,
+              label_a: str = "A", label_b: str = "B") -> str:
+    busy_a = _busy_by_track_family(a)
+    busy_b = _busy_by_track_family(b)
+    keys = sorted(set(busy_a) | set(busy_b))
+    lines = [
+        f"{'track':<10s} {'span family':<24s} {label_a + ' [s]':>12s} "
+        f"{label_b + ' [s]':>12s} {'delta':>10s}"
+    ]
+    for key in keys:
+        ta = busy_a.get(key, (0.0, 0))[0]
+        tb = busy_b.get(key, (0.0, 0))[0]
+        delta = tb - ta
+        rel = f"{delta / ta * 100:+.1f}%" if ta else "new"
+        track, family = key
+        lines.append(f"{track:<10s} {family:<24s} {ta:>12.6g} {tb:>12.6g} "
+                     f"{rel:>10s}")
+    ma, mb = _makespan(a), _makespan(b)
+    if ma or mb:
+        rel = f"{(mb - ma) / ma * 100:+.1f}%" if ma else "new"
+        lines.append(f"{'':<10s} {'virtual makespan':<24s} {ma:>12.6g} "
+                     f"{mb:>12.6g} {rel:>10s}")
+    return "\n".join(lines)
+
+
+# -- entry point -----------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "summarize":
+        print(summarize_text(load_trace(args.file)))
+        return 0
+
+    if args.command == "export":
+        data = load_trace(args.file)
+        out = Path(args.output)
+        if args.format == "chrome":
+            export_chrome_trace(data, out)
+            n = len(chrome_trace(data)["traceEvents"])
+            print(f"wrote {out} ({n} trace events); open in "
+                  "https://ui.perfetto.dev")
+        elif args.format == "csv":
+            out.write_text(spans_to_csv(data))
+            print(f"wrote {out} ({len(data.spans)} spans)")
+        elif args.format == "metrics-json":
+            import json
+
+            out.write_text(json.dumps(data.metrics, indent=2) + "\n")
+            print(f"wrote {out}")
+        else:  # metrics-csv
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.merge(data.metrics)
+            out.write_text(registry.to_csv())
+            print(f"wrote {out}")
+        return 0
+
+    if args.command == "gantt":
+        data = load_trace(args.file)
+        cats = tuple(c.strip() for c in args.cats.split(",") if c.strip())
+        print(render_ascii(data.spans, width=args.width, include=cats))
+        if args.svg:
+            Path(args.svg).write_text(render_svg(data.spans, include=cats))
+            print(f"\nwrote {args.svg}")
+        return 0
+
+    if args.command == "diff":
+        a, b = load_trace(args.a), load_trace(args.b)
+        print(diff_text(a, b, label_a=Path(args.a).stem,
+                        label_b=Path(args.b).stem))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

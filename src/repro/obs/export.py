@@ -1,0 +1,233 @@
+"""Trace and metrics exporters.
+
+Three output formats:
+
+* **native** (``save_trace`` / ``load_trace``) — a single JSON file
+  (``{"format": "repro-trace", "version": 1, ...}``) holding spans,
+  instants, a metrics snapshot and free-form metadata.  This is what the
+  ``repro-trace`` CLI consumes and what benchmarks write alongside their
+  ``BENCH_*.json`` results.
+* **Chrome ``trace_event``** (``chrome_trace`` / ``export_chrome_trace``)
+  — loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  Virtual time is mapped onto the timeline (1 virtual second = 1 exported
+  second) with one *thread per simulated rank* under the "virtual time"
+  process; wall-clock spans appear under a separate "wall clock" process,
+  shifted to start at zero.
+* **CSV** (``spans_to_csv``, ``MetricsRegistry.to_csv``) — flat dumps for
+  spreadsheet/pandas post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.tracer import Instant, Span, Tracer
+
+__all__ = [
+    "TraceData",
+    "save_trace",
+    "load_trace",
+    "chrome_trace",
+    "export_chrome_trace",
+    "spans_to_csv",
+]
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+#: exported microseconds per virtual second (Chrome ``ts`` is in us)
+_US = 1e6
+
+
+@dataclass
+class TraceData:
+    """A loaded trace file: the same shape a :class:`Tracer` records."""
+
+    spans: List[Span] = field(default_factory=list)
+    instants: List[Instant] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def tracks(self) -> List[str]:
+        names = {s.track for s in self.spans}
+        names.update(i.track for i in self.instants)
+        return sorted(names)
+
+
+TraceLike = Union[Tracer, TraceData]
+
+
+def _span_dict(s: Span) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": s.name, "track": s.track, "t0": s.t0, "t1": s.t1,
+        "clock": s.clock,
+    }
+    if s.cat:
+        out["cat"] = s.cat
+    if s.args:
+        out["args"] = s.args
+    return out
+
+
+def _instant_dict(i: Instant) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": i.name, "track": i.track, "t": i.t, "clock": i.clock,
+    }
+    if i.cat:
+        out["cat"] = i.cat
+    if i.args:
+        out["args"] = i.args
+    return out
+
+
+def save_trace(
+    source: TraceLike,
+    path: Union[str, Path],
+    metrics: Optional[Union[MetricsRegistry, NullMetrics,
+                            Dict[str, Any]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the native ``repro-trace`` JSON file; returns the path."""
+    if metrics is None:
+        snapshot: Dict[str, Any] = {}
+    elif hasattr(metrics, "as_dict"):
+        snapshot = metrics.as_dict()
+    else:
+        snapshot = dict(metrics)
+    merged_meta = dict(getattr(source, "meta", {}) or {})
+    merged_meta.update(meta or {})
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "meta": merged_meta,
+        "spans": [_span_dict(s) for s in source.spans],
+        "instants": [_instant_dict(i) for i in source.instants],
+        "metrics": snapshot,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, default=str) + "\n")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> TraceData:
+    """Read a native trace file back into a :class:`TraceData`."""
+    raw = json.loads(Path(path).read_text())
+    if raw.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"{path}: not a {FORMAT_NAME} file "
+            f"(format={raw.get('format')!r}); export Chrome JSON with "
+            "'repro-trace export', not as the working format"
+        )
+    spans = [
+        Span(name=d["name"], track=d["track"], t0=d["t0"], t1=d["t1"],
+             clock=d.get("clock", "wall"), cat=d.get("cat", ""),
+             args=d.get("args"))
+        for d in raw.get("spans", [])
+    ]
+    instants = [
+        Instant(name=d["name"], track=d["track"], t=d["t"],
+                clock=d.get("clock", "virtual"), cat=d.get("cat", ""),
+                args=d.get("args"))
+        for d in raw.get("instants", [])
+    ]
+    return TraceData(spans=spans, instants=instants,
+                     metrics=raw.get("metrics", {}),
+                     meta=raw.get("meta", {}))
+
+
+# -- Chrome trace_event ----------------------------------------------------
+def _track_tid(track: str, fallback: Dict[str, int]) -> int:
+    """Thread id for a track: ``rankN`` -> N, others densely from 1000."""
+    if track.startswith("rank"):
+        suffix = track[4:]
+        if suffix.isdigit():
+            return int(suffix)
+    if track not in fallback:
+        fallback[track] = 1000 + len(fallback)
+    return fallback[track]
+
+
+def chrome_trace(source: TraceLike) -> Dict[str, Any]:
+    """Convert a recording to a Chrome ``trace_event`` JSON object.
+
+    Virtual-clock records go to process 0 ("virtual time", one thread
+    per rank); wall-clock records to process 1 ("wall clock"), shifted
+    so the earliest wall timestamp is 0.
+    """
+    events: List[Dict[str, Any]] = []
+    fallback_tids: Dict[str, int] = {}
+    wall_times = [s.t0 for s in source.spans if s.clock == "wall"]
+    wall_times += [i.t for i in source.instants if i.clock == "wall"]
+    wall_zero = min(wall_times) if wall_times else 0.0
+
+    def _pid_ts(clock: str, t: float) -> tuple:
+        if clock == "virtual":
+            return 0, t * _US
+        return 1, (t - wall_zero) * _US
+
+    seen_threads = set()
+    for s in source.spans:
+        pid, ts = _pid_ts(s.clock, s.t0)
+        tid = _track_tid(s.track, fallback_tids)
+        seen_threads.add((pid, tid, s.track))
+        events.append({
+            "name": s.name, "cat": s.cat or "span", "ph": "X",
+            "ts": ts, "dur": max(s.t1 - s.t0, 0.0) * _US,
+            "pid": pid, "tid": tid, "args": s.args or {},
+        })
+    for i in source.instants:
+        pid, ts = _pid_ts(i.clock, i.t)
+        tid = _track_tid(i.track, fallback_tids)
+        seen_threads.add((pid, tid, i.track))
+        events.append({
+            "name": i.name, "cat": i.cat or "instant", "ph": "i",
+            "ts": ts, "s": "t", "pid": pid, "tid": tid,
+            "args": i.args or {},
+        })
+
+    meta_events: List[Dict[str, Any]] = []
+    pids = sorted({pid for pid, _, _ in seen_threads})
+    pid_names = {0: "virtual time (simulated ranks)", 1: "wall clock"}
+    for pid in pids:
+        meta_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": pid_names.get(pid, f"process {pid}")},
+        })
+    for pid, tid, track in sorted(seen_threads):
+        meta_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": track},
+        })
+        meta_events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+
+    return {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(getattr(source, "meta", {}) or {}),
+    }
+
+
+def export_chrome_trace(source: TraceLike, path: Union[str, Path]) -> Path:
+    """Write Chrome ``trace_event`` JSON; open in Perfetto to view."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(source), indent=1, default=str)
+                    + "\n")
+    return path
+
+
+def spans_to_csv(source: TraceLike) -> str:
+    """Flat CSV of every span: track,name,clock,cat,t0,t1,duration."""
+    rows = ["track,name,clock,cat,t0,t1,duration"]
+    ordered = sorted(source.spans, key=lambda s: (s.clock, s.track, s.t0,
+                                                  s.name))
+    for s in ordered:
+        rows.append(f"{s.track},{s.name},{s.clock},{s.cat},"
+                    f"{s.t0:.9g},{s.t1:.9g},{s.duration:.9g}")
+    return "\n".join(rows) + "\n"

@@ -1,0 +1,274 @@
+"""Span/event tracer with a zero-cost no-op default.
+
+The observability layer records two kinds of facts about a run:
+
+* **spans** — named intervals with a begin and an end, on a *track*
+  (a simulated MPI rank, or ``"main"`` for serial code), against one of
+  two clocks: ``"wall"`` (``time.perf_counter`` seconds) or ``"virtual"``
+  (the simulated-MPI scheduler's per-rank clocks);
+* **instants** — labelled points in time (a message send, a fault
+  injection, a residual sample), with optional structured ``args``.
+
+The module-level *active tracer* defaults to :data:`NULL_TRACER`, whose
+``span()`` returns a shared singleton context manager and whose event
+methods are empty — instrumented call sites pay one attribute check and
+**zero allocations** when tracing is off (the regression test in
+``tests/test_obs_tracer.py`` pins this, mirroring the ``REPRO_SANITIZE``
+identity-decorator contract).  Enable tracing by passing a
+:class:`Tracer` to the component (``Scheduler(tracer=...)``,
+``run_pfasst(..., tracer=...)``) or by installing one globally::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        evaluator.field(positions, charges)   # phase timings become spans
+    print(len(tracer.spans))
+
+Virtual-time spans are recorded post hoc via :meth:`Tracer.vspan` (the
+scheduler knows both endpoints when the span closes); wall-clock spans
+via the :meth:`Tracer.span` context manager.  ``begin:<name>`` /
+``end:<name>`` annotation pairs (the simulated-MPI ``Annotate`` op used
+by the PFASST controller for Fig. 6 schedules) are folded into virtual
+spans by :meth:`Tracer.annotate`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Instant",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One closed interval ``[t0, t1]`` on a named track."""
+
+    name: str
+    track: str
+    t0: float
+    t1: float
+    #: ``"wall"`` (perf_counter seconds) or ``"virtual"`` (scheduler clock)
+    clock: str = "wall"
+    #: coarse grouping for exporters ("phase", "compute", "comm", ...)
+    cat: str = ""
+    args: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class Instant:
+    """One labelled point in time on a named track."""
+
+    name: str
+    track: str
+    t: float
+    clock: str = "virtual"
+    cat: str = ""
+    args: Optional[Dict[str, Any]] = None
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def add(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Inactive tracer: every method is a no-op, ``span()`` allocates
+    nothing (it returns a module-level singleton)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, *, track: str = "main", cat: str = "",
+             args: Optional[Dict[str, Any]] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def vspan(self, name: str, t0: float, t1: float, *, track: str = "main",
+              cat: str = "", args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def instant(self, name: str, t: Optional[float] = None, *,
+                track: str = "main", clock: str = "virtual", cat: str = "",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def annotate(self, track: str, label: str, t: float,
+                 data: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class _WallSpan:
+    """Live wall-clock span; records itself on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_track", "_cat", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str, cat: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._track = track
+        self._cat = cat
+        self._args = args
+        self._t0 = 0.0
+
+    def add(self, **args: Any) -> "_WallSpan":
+        """Attach extra key/value payload to the span."""
+        if self._args is None:
+            self._args = {}
+        self._args.update(args)
+        return self
+
+    def __enter__(self) -> "_WallSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        t1 = time.perf_counter()
+        self._tracer.spans.append(
+            Span(name=self._name, track=self._track, t0=self._t0, t1=t1,
+                 clock="wall", cat=self._cat, args=self._args)
+        )
+        return False
+
+
+class Tracer:
+    """In-memory recording tracer.
+
+    Collects :class:`Span` and :class:`Instant` records; exporters
+    (:mod:`repro.obs.export`) turn the recording into Chrome
+    ``trace_event`` JSON, the native ``repro-trace`` file format, or a
+    Gantt rendering (:mod:`repro.obs.gantt`).
+    """
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.meta: Dict[str, Any] = dict(meta or {})
+        #: open ``begin:`` annotations awaiting their ``end:`` twin
+        self._open: Dict[Tuple[str, str], Tuple[float, Optional[Dict[str, Any]]]] = {}
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, *, track: str = "main", cat: str = "",
+             args: Optional[Dict[str, Any]] = None) -> _WallSpan:
+        """Context manager timing a wall-clock span."""
+        return _WallSpan(self, name, track, cat, args)
+
+    def vspan(self, name: str, t0: float, t1: float, *, track: str = "main",
+              cat: str = "", args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a closed virtual-time span ``[t0, t1]``."""
+        self.spans.append(
+            Span(name=name, track=track, t0=t0, t1=t1, clock="virtual",
+                 cat=cat, args=args)
+        )
+
+    def instant(self, name: str, t: Optional[float] = None, *,
+                track: str = "main", clock: str = "virtual", cat: str = "",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point event (``t=None`` stamps the wall clock)."""
+        if t is None:
+            t = time.perf_counter()
+            clock = "wall"
+        self.instants.append(
+            Instant(name=name, track=track, t=t, clock=clock, cat=cat,
+                    args=args)
+        )
+
+    def annotate(self, track: str, label: str, t: float,
+                 data: Optional[Dict[str, Any]] = None) -> None:
+        """Fold ``begin:X`` / ``end:X`` label pairs into virtual spans.
+
+        Labels without the prefix become instants.  Unbalanced ``begin``
+        annotations stay open (they are dropped, matching the permissive
+        semantics of the scheduler's raw trace list); an ``end`` without
+        a ``begin`` is recorded as an instant so it remains visible.
+        """
+        kind, sep, rest = label.partition(":")
+        if sep and kind == "begin":
+            self._open[(track, rest)] = (t, data)
+            return
+        if sep and kind == "end":
+            opened = self._open.pop((track, rest), None)
+            if opened is not None:
+                t0, begin_data = opened
+                args = dict(begin_data or {})
+                if data:
+                    args.update(data)
+                self.vspan(rest, t0, t, track=track, cat="phase",
+                           args=args or None)
+                return
+        self.instant(label, t=t, track=track, clock="virtual", cat="mark",
+                     args=data)
+
+    # -- introspection --------------------------------------------------
+    def tracks(self) -> List[str]:
+        """Sorted names of every track that recorded anything."""
+        names = {s.track for s in self.spans}
+        names.update(i.track for i in self.instants)
+        return sorted(names)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self._open.clear()
+
+
+#: the module-level active tracer (zero-cost no-op unless replaced)
+_ACTIVE: NullTracer | Tracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The active tracer; :data:`NULL_TRACER` unless one was installed."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[NullTracer | Tracer]) -> None:
+    """Install ``tracer`` globally (``None`` restores the no-op)."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped installation: the previous tracer is restored on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

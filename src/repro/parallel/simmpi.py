@@ -59,6 +59,8 @@ from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Tup
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.parallel.faults import (
     CorruptionError,
     FaultEvent,
@@ -183,9 +185,13 @@ class Annotate:
     Used to reconstruct schedule diagrams (paper Fig. 6): a rank program
     yields ``comm.annotate("fine_sweep")`` / ``comm.annotate("end")``
     around its phases and the scheduler stores ``TraceEvent`` entries.
+    ``begin:<label>`` / ``end:<label>`` pairs are additionally folded
+    into virtual-time spans by an attached :class:`repro.obs.Tracer`.
     """
 
     label: str
+    #: optional structured payload forwarded to the tracer (residuals, ...)
+    data: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -195,6 +201,7 @@ class TraceEvent:
     rank: int
     label: str
     time: float
+    data: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -253,8 +260,9 @@ class VirtualComm:
             raise ValueError(f"work seconds must be >= 0, got {seconds}")
         return Work(seconds)
 
-    def annotate(self, label: str) -> Annotate:
-        return Annotate(label)
+    def annotate(self, label: str,
+                 data: Optional[Dict[str, Any]] = None) -> Annotate:
+        return Annotate(label, data=data)
 
     @property
     def clock(self) -> float:
@@ -319,6 +327,24 @@ class Scheduler:
         every injection and recovery action.  When ``None`` (default)
         the fault hooks are never entered and results and virtual clocks
         are byte-identical to the plain scheduler.
+    tracer :
+        Optional :class:`repro.obs.Tracer`.  When attached, every run
+        records virtual-time spans per rank (``compute`` / ``work`` /
+        ``wait:recv``), ``send`` / ``recv`` instants, fault-injection
+        and recovery instants, and folds the rank programs'
+        ``begin:<x>`` / ``end:<x>`` annotations into named phase spans
+        — one Perfetto thread per rank after export.  The default is
+        the zero-cost no-op tracer; virtual clocks and results are
+        identical either way.
+
+    Attributes
+    ----------
+    metrics :
+        A :class:`repro.obs.MetricsRegistry` owned by the scheduler,
+        repopulated on every :meth:`run`: ``mpi.messages`` /
+        ``mpi.bytes`` (global and per ``{src,dest}`` pair) and
+        ``mpi.retransmissions``.  The legacy ``stats_messages`` /
+        ``stats_bytes`` integers remain as fast aliases.
     """
 
     def __init__(
@@ -330,6 +356,7 @@ class Scheduler:
         service_order: str = "ascending",
         warn_orphans: bool = True,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
@@ -345,6 +372,7 @@ class Scheduler:
         self.service_order = service_order
         self.warn_orphans = warn_orphans
         self.fault_plan = fault_plan
+        self.tracer: Tracer | NullTracer = tracer or NULL_TRACER
         self._reset_run_state()
 
     def _reset_run_state(self) -> None:
@@ -361,6 +389,8 @@ class Scheduler:
         )
         self.stats_messages = 0
         self.stats_bytes = 0
+        #: per-run message/byte/retransmission instruments
+        self.metrics = MetricsRegistry()
         #: annotated timeline instants (populated by Annotate ops)
         self.trace: List[TraceEvent] = []
         #: undelivered-message report of the last completed run
@@ -397,6 +427,11 @@ class Scheduler:
         self._reset_run_state()
         results = self._run_pass(program, args)
         self._report_orphans()
+        if self.tracer.enabled:
+            self._trace_resilience()
+        active = get_metrics()
+        if active.enabled and active is not self.metrics:
+            active.merge(self.metrics)
         if self.verify:
             self._verify_replay(program, args, results)
         return results
@@ -536,7 +571,19 @@ class Scheduler:
                 return self._recover_corruption(
                     rank, state, source, tag, msg, verdict
                 )
+        t_blocked = self.clocks[rank]
         self.clocks[rank] = max(self.clocks[rank], msg.arrival)
+        if self.tracer.enabled:
+            track = f"rank{rank}"
+            if self.clocks[rank] > t_blocked:
+                self.tracer.vspan(
+                    "wait:recv", t_blocked, self.clocks[rank], track=track,
+                    cat="comm", args={"source": source, "tag": str(tag)},
+                )
+            self.tracer.instant(
+                "recv", t=self.clocks[rank], track=track, cat="comm",
+                args={"source": source, "tag": str(tag)},
+            )
         state.blocked_on = None
         state.recv_op = None
         state.send_value = msg.payload
@@ -584,6 +631,7 @@ class Scheduler:
                 payload_bytes(pristine.payload)
             )
             self.clocks[rank] = t_detect + cost
+            self.metrics.counter("mpi.retransmissions").inc()
             self.resilience.recovered.append(
                 FaultEvent(
                     kind="retransmit", time=self.clocks[rank], rank=rank,
@@ -632,6 +680,7 @@ class Scheduler:
                     payload_bytes(pristine.payload)
                 )
                 self.clocks[rank] += cost
+                self.metrics.counter("mpi.retransmissions").inc()
                 self.resilience.recovered.append(
                     FaultEvent(
                         kind="retransmit", time=self.clocks[rank],
@@ -736,8 +785,7 @@ class Scheduler:
                 self._channels[(rank, op.dest, op.tag)].append(
                     _Message(payload=op.payload, arrival=arrival)
                 )
-                self.stats_messages += 1
-                self.stats_bytes += nbytes
+                self._count_message(rank, op.dest, op.tag, nbytes, arrival)
                 continue  # eager send: keep running this rank
             if isinstance(op, Recv):
                 state.blocked_on = (op.source, op.tag)
@@ -747,13 +795,20 @@ class Scheduler:
                     continue
                 return
             if isinstance(op, Work):
+                t0 = self.clocks[rank]
                 self.clocks[rank] += op.seconds
+                if self.tracer.enabled and op.seconds > 0:
+                    self.tracer.vspan("work", t0, self.clocks[rank],
+                                      track=f"rank{rank}", cat="compute")
                 continue
             if isinstance(op, Annotate):
                 self.trace.append(
                     TraceEvent(rank=rank, label=op.label,
-                               time=self.clocks[rank])
+                               time=self.clocks[rank], data=op.data)
                 )
+                if self.tracer.enabled:
+                    self.tracer.annotate(f"rank{rank}", op.label,
+                                         self.clocks[rank], data=op.data)
                 continue
             raise TypeError(
                 f"rank {rank} yielded unsupported operation {op!r}"
@@ -769,8 +824,7 @@ class Scheduler:
             + self.cost_model.transfer_time(nbytes)
             + disp.extra_delay
         )
-        self.stats_messages += 1
-        self.stats_bytes += nbytes
+        self._count_message(rank, op.dest, op.tag, nbytes, arrival)
         if disp.extra_delay:
             self.resilience.injected.append(
                 FaultEvent(
@@ -811,8 +865,7 @@ class Scheduler:
         self._channels[(rank, op.dest, op.tag)].append(message)
         for _ in range(disp.duplicates):
             self._channels[(rank, op.dest, op.tag)].append(message)
-            self.stats_messages += 1
-            self.stats_bytes += nbytes
+            self._count_message(rank, op.dest, op.tag, nbytes, arrival)
             self.resilience.injected.append(
                 FaultEvent(
                     kind="duplicate", time=self.clocks[rank], source=rank,
@@ -823,7 +876,43 @@ class Scheduler:
     def _charge_compute(self, rank: int, t_start: float) -> None:
         if self.measure_compute:
             elapsed = time.perf_counter() - t_start
-            self.clocks[rank] += elapsed * self.cost_model.compute_scale
+            if elapsed > 0:
+                t0 = self.clocks[rank]
+                self.clocks[rank] += elapsed * self.cost_model.compute_scale
+                if self.tracer.enabled:
+                    self.tracer.vspan("compute", t0, self.clocks[rank],
+                                      track=f"rank{rank}", cat="compute")
+
+    def _count_message(self, src: int, dest: int, tag: Hashable,
+                       nbytes: int, arrival: float) -> None:
+        """Account one sent message (counters, tracer instant)."""
+        self.stats_messages += 1
+        self.stats_bytes += nbytes
+        self.metrics.counter("mpi.messages").inc()
+        self.metrics.counter("mpi.bytes").inc(nbytes)
+        self.metrics.counter("mpi.messages", src=src, dest=dest).inc()
+        self.metrics.counter("mpi.bytes", src=src, dest=dest).inc(nbytes)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "send", t=self.clocks[src], track=f"rank{src}", cat="comm",
+                args={"dest": dest, "tag": str(tag), "bytes": nbytes,
+                      "arrival": arrival},
+            )
+
+    def _trace_resilience(self) -> None:
+        """Mirror the run's fault/recovery events onto the trace."""
+        for cat, events in (("fault", self.resilience.injected),
+                            ("recovery", self.resilience.recovered)):
+            for ev in events:
+                owner = ev.rank if ev.rank is not None else ev.source
+                track = f"rank{owner}" if owner is not None else "main"
+                args: Dict[str, Any] = {}
+                for key in ("source", "dest", "tag", "detail", "cost"):
+                    value = getattr(ev, key, None)
+                    if value is not None:
+                        args[key] = (str(value) if key == "tag" else value)
+                self.tracer.instant(ev.kind, t=ev.time, track=track,
+                                    cat=cat, args=args or None)
 
     # ------------------------------------------------------------------
     @property

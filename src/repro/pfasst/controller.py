@@ -54,6 +54,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import Tracer
 from repro.parallel.collectives import allreduce, bcast
 from repro.parallel.faults import FaultPlan, RankFailure, RecvTimeout
 from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
@@ -173,6 +174,9 @@ class PfasstResult:
     #: the scheduler's :class:`~repro.parallel.faults.ResilienceReport`
     #: (``None``-ish/empty when no fault plan was active)
     resilience: Optional[Any] = None
+    #: snapshot of the scheduler's metrics registry (``mpi.messages`` /
+    #: ``mpi.bytes`` globally and per rank pair, ``mpi.retransmissions``)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -334,6 +338,8 @@ def pfasst_rank_program(
                     level.end_value,
                 )
             # restrict and compute FAS for the next level down
+            if config.trace:
+                yield comm.annotate(f"begin:restrict:L{lev}:k{k}")
             tr = transfers[lev]
             coarse = levels[lev + 1]
             coarse.U = tr.restrict_nodes(level.U)
@@ -345,6 +351,8 @@ def pfasst_rank_program(
                 dt, tr, level.F, coarse.F,
                 tau_fine=level.tau if lev > 0 else None,
             )
+            if config.trace:
+                yield comm.annotate(f"end:restrict:L{lev}:k{k}")
 
         # ---- coarsest level ----
         if rank > 0:
@@ -372,6 +380,8 @@ def pfasst_rank_program(
 
         # ---- up the V-cycle ----
         for lev in range(n_levels - 2, -1, -1):
+            if config.trace:
+                yield comm.annotate(f"begin:interp:L{lev}:k{k}")
             tr = transfers[lev]
             level, coarse = levels[lev], levels[lev + 1]
             level.U = level.U + tr.interpolate_nodes(
@@ -385,6 +395,8 @@ def pfasst_rank_program(
                 level.F = level.F + tr.interpolate_nodes(
                     coarse.F - coarse.F_at_restriction
                 )
+            if config.trace:
+                yield comm.annotate(f"end:interp:L{lev}:k{k}")
             # new initial value for this level
             if rank > 0:
                 recv_u0 = yield comm.recv(
@@ -411,7 +423,12 @@ def pfasst_rank_program(
                 level.F[0] = level.problem.rhs(t_slice, level.u0)
 
         fine = levels[0]
-        return fine.sweeper.residual(dt, fine.U, fine.F, fine.u0)
+        res = fine.sweeper.residual(dt, fine.U, fine.F, fine.u0)
+        if config.trace:
+            yield comm.annotate(
+                "residual", data={"k": k, "residual": float(res)}
+            )
+        return res
 
     def _bump_attempt(attempt, block, failed, phase):
         if attempt + 1 > config.max_restarts:
@@ -717,6 +734,7 @@ def run_pfasst(
     verify: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     service_order: str = "ascending",
+    tracer: Optional[Tracer] = None,
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
 
@@ -730,11 +748,18 @@ def run_pfasst(
     ``fault_plan`` injects crashes / link faults
     (:mod:`repro.parallel.faults`); pair it with
     ``config.recovery != "fail"`` for the run to survive them.
+    ``tracer`` attaches a :class:`repro.obs.Tracer` to the scheduler;
+    combined with ``config.trace=True`` the recording carries one
+    virtual-time span per predictor step / sweep / restrict / interp
+    (with per-iteration residual instants) per rank — export it with
+    :func:`repro.obs.export_chrome_trace` or render it with
+    ``repro-trace gantt`` to reproduce the paper's Fig. 6.
     """
     check_positive("p_time", p_time)
     scheduler = Scheduler(
         p_time, cost_model=cost_model, measure_compute=measure_compute,
         verify=verify, fault_plan=fault_plan, service_order=service_order,
+        tracer=tracer,
     )
     results = scheduler.run(
         pfasst_rank_program, args=(config, specs, np.asarray(u0), spatial)
@@ -751,4 +776,5 @@ def run_pfasst(
         total_iterations=by_rank[0]["total_iterations"],
         recoveries=by_rank[0]["recoveries"],
         resilience=scheduler.resilience,
+        metrics=scheduler.metrics.as_dict(),
     )

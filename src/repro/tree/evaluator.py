@@ -45,11 +45,12 @@ from repro.tree.engine import (
     batched_near_vortex,
     build_traversal_layout,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.timing import TimingRegistry
 from repro.tree.mac import MACVariant
 from repro.tree.profiles import supports_multipoles
 from repro.tree.state import CacheStats, TreeState, TreeStateCache
 from repro.tree.traversal import InteractionLists
-from repro.utils.timing import TimingRegistry
 from repro.utils.validation import check_positive
 from repro.vortex.kernels import SingularKernel, SmoothingKernel, get_kernel
 from repro.vortex.problem import FieldEvaluator
@@ -89,7 +90,7 @@ def _make_stats(
     moments_cached: bool,
     traversal_cached: bool,
 ) -> TreeStats:
-    return TreeStats(
+    stats = TreeStats(
         n_particles=tree.n_particles,
         n_nodes=tree.n_nodes,
         n_groups=lists.n_groups,
@@ -102,6 +103,16 @@ def _make_stats(
         moments_cached=moments_cached,
         traversal_cached=traversal_cached,
     )
+    m = get_metrics()
+    if m.enabled:
+        m.counter("tree.evaluations").inc()
+        m.counter("tree.mac_tests").inc(stats.mac_tests)
+        m.counter("tree.far_pairs").inc(stats.far_pairs)
+        m.counter("tree.near_pairs").inc(stats.near_pairs)
+        m.histogram("tree.interactions_per_particle").observe(
+            stats.interactions_per_particle
+        )
+    return stats
 
 
 def _engine_layout(

@@ -22,8 +22,10 @@ state, moments are keyed by the charge-array fingerprint and traversals by
 ``(theta, mac_variant)``.  Hit/miss counters per stage are kept in
 :class:`CacheStats`; the evaluators surface per-call flags in
 ``TreeStats`` and only time the ``tree_build`` / ``moments`` / ``traverse``
-phases on misses, so a :class:`~repro.utils.timing.TimingRegistry` report
-directly shows the work saved.
+phases on misses, so a :class:`~repro.obs.timing.TimingRegistry` report
+directly shows the work saved.  When a global metrics registry is active
+(:func:`repro.obs.use_metrics`), every hit/miss also increments a
+``tree.cache.<stage>.<hits|misses>`` counter there.
 """
 
 from __future__ import annotations
@@ -42,8 +44,9 @@ from repro.tree.multipole import (
     compute_coulomb_moments,
     compute_vortex_moments,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.timing import TimingRegistry
 from repro.tree.traversal import InteractionLists, dual_traversal
-from repro.utils.timing import TimingRegistry
 
 __all__ = ["array_fingerprint", "CacheStats", "TreeState", "TreeStateCache"]
 
@@ -68,6 +71,17 @@ class CacheStats:
     moment_misses: int = 0
     traversal_hits: int = 0
     traversal_misses: int = 0
+
+    def count(self, stage: str, hit: bool) -> None:
+        """Increment one stage's hit or miss counter (and the active
+        metrics registry's ``tree.cache.<stage>.<hits|misses>``)."""
+        attr = f"{stage}_{'hits' if hit else 'misses'}"
+        setattr(self, attr, getattr(self, attr) + 1)
+        m = get_metrics()
+        if m.enabled:
+            m.counter(
+                f"tree.cache.{stage}.{'hits' if hit else 'misses'}"
+            ).inc()
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -118,10 +132,10 @@ class TreeState:
         key = array_fingerprint(charges)
         hit = self._vortex_moments.get(key)
         if hit is not None:
-            self._stats.moment_hits += 1
+            self._stats.count("moment", hit=True)
             self._vortex_moments.move_to_end(key)
             return hit, True
-        self._stats.moment_misses += 1
+        self._stats.count("moment", hit=False)
         if phases is not None:
             with phases.phase("moments"):
                 moments = compute_vortex_moments(self.tree, charges)
@@ -139,10 +153,10 @@ class TreeState:
         key = array_fingerprint(charges)
         hit = self._coulomb_moments.get(key)
         if hit is not None:
-            self._stats.moment_hits += 1
+            self._stats.count("moment", hit=True)
             self._coulomb_moments.move_to_end(key)
             return hit, True
-        self._stats.moment_misses += 1
+        self._stats.count("moment", hit=False)
         if phases is not None:
             with phases.phase("moments"):
                 moments = compute_coulomb_moments(self.tree, charges)
@@ -170,9 +184,9 @@ class TreeState:
         key = (float(theta), str(variant))
         hit = self._traversals.get(key)
         if hit is not None:
-            self._stats.traversal_hits += 1
+            self._stats.count("traversal", hit=True)
             return hit, True
-        self._stats.traversal_misses += 1
+        self._stats.count("traversal", hit=False)
         if phases is not None:
             with phases.phase("traverse"):
                 lists = dual_traversal(
@@ -218,10 +232,10 @@ class TreeStateCache:
         key = (array_fingerprint(positions), int(leaf_size))
         hit = self._states.get(key)
         if hit is not None:
-            self.stats.build_hits += 1
+            self.stats.count("build", hit=True)
             self._states.move_to_end(key)
             return hit, True
-        self.stats.build_misses += 1
+        self.stats.count("build", hit=False)
         if phases is not None:
             with phases.phase("tree_build"):
                 tree = build_octree(positions, leaf_size=leaf_size)

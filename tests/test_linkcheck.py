@@ -1,0 +1,112 @@
+"""Tests for repro.analysis.linkcheck — the markdown link checker CI
+runs over README.md and docs/."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.linkcheck import (
+    check_files,
+    main,
+    markdown_anchors,
+)
+
+
+def _write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestAnchors:
+    def test_heading_slugs(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "# Big Title\n\n## Span Naming!\n")
+        assert markdown_anchors(doc) == {"big-title", "span-naming"}
+
+    def test_code_span_in_heading_keeps_text(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "## The `repro-trace` CLI\n")
+        assert markdown_anchors(doc) == {"the-repro-trace-cli"}
+
+    def test_duplicate_headings_get_suffixes(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "## Usage\n\n## Usage\n")
+        assert markdown_anchors(doc) == {"usage", "usage-1"}
+
+    def test_fenced_comment_headings_ignored(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "```\n# not a heading\n```\n# Real\n")
+        assert markdown_anchors(doc) == {"real"}
+
+
+class TestCheckFiles:
+    def test_valid_relative_link(self, tmp_path):
+        _write(tmp_path, "docs/guide.md", "# Guide\n")
+        readme = _write(tmp_path, "README.md", "[g](docs/guide.md)\n")
+        assert check_files([readme]) == []
+
+    def test_missing_file_is_broken(self, tmp_path):
+        readme = _write(tmp_path, "README.md", "see [g](docs/nope.md)\n")
+        (broken,) = check_files([readme])
+        assert broken.target == "docs/nope.md"
+        assert "no such file" in broken.reason
+        assert broken.line == 1
+
+    def test_anchor_into_other_file(self, tmp_path):
+        _write(tmp_path, "g.md", "# Guide\n\n## Span Naming\n")
+        ok = _write(tmp_path, "a.md", "[x](g.md#span-naming)\n")
+        bad = _write(tmp_path, "b.md", "[x](g.md#no-such-heading)\n")
+        assert check_files([ok]) == []
+        (broken,) = check_files([bad])
+        assert "no heading for anchor" in broken.reason
+
+    def test_local_anchor(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "# Top\n\n[up](#top)\n[x](#nope)\n")
+        (broken,) = check_files([doc])
+        assert broken.target == "#nope"
+
+    def test_external_links_pass_without_fetching(self, tmp_path):
+        doc = _write(tmp_path, "d.md",
+                     "[p](https://ui.perfetto.dev) [m](mailto:a@b.c)\n")
+        assert check_files([doc]) == []
+
+    def test_unknown_scheme_is_flagged(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "[x](gopher://old.net)\n")
+        (broken,) = check_files([doc])
+        assert "unrecognised URL scheme" in broken.reason
+
+    def test_links_in_code_are_ignored(self, tmp_path):
+        doc = _write(tmp_path, "d.md",
+                     "```\n[x](missing.md)\n```\nand `[y](gone.md)`\n")
+        assert check_files([doc]) == []
+
+    def test_image_links_are_checked(self, tmp_path):
+        doc = _write(tmp_path, "d.md", "![fig](fig6.svg)\n")
+        (broken,) = check_files([doc])
+        assert broken.target == "fig6.svg"
+
+
+class TestMain:
+    def test_exit_zero_and_count(self, tmp_path, capsys):
+        _write(tmp_path, "g.md", "# G\n")
+        doc = _write(tmp_path, "d.md", "[a](g.md) [b](g.md#g)\n")
+        assert main([str(doc)]) == 0
+        assert "2 links OK across 1 file(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_broken(self, tmp_path, capsys):
+        doc = _write(tmp_path, "d.md", "[a](missing.md)\n")
+        assert main([str(doc)]) == 1
+        out = capsys.readouterr()
+        assert "broken link 'missing.md'" in out.out
+        assert "1 broken link(s)" in out.err
+
+    def test_exit_two_on_missing_input(self, tmp_path, capsys):
+        assert main([str(tmp_path / "ghost.md")]) == 2
+
+    def test_repo_docs_have_no_broken_links(self):
+        """The same invocation CI runs, pinned as a test."""
+        root = Path(__file__).resolve().parent.parent
+        files = [root / "README.md", root / "EXPERIMENTS.md",
+                 root / "benchmarks" / "README.md"]
+        files += sorted((root / "docs").glob("*.md"))
+        present = [f for f in files if f.is_file()]
+        assert present, "repository markdown set went missing"
+        assert check_files(present) == []

@@ -1,0 +1,193 @@
+"""Tests for repro.obs.export — native round-trip, CSV, and the Fig. 6
+acceptance check: a traced ``run_pfasst`` exports Chrome ``trace_event``
+JSON whose per-rank spans reproduce the paper's schedule structure."""
+
+import json
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    export_chrome_trace,
+    load_trace,
+    save_trace,
+    spans_to_csv,
+    use_metrics,
+)
+from repro.parallel import CommCostModel
+from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
+from repro.vortex.problem import ODEProblem
+
+P_TIME = 4
+ITERATIONS = 2
+
+
+class _Scalar(ODEProblem):
+    def rhs(self, t: float, u: np.ndarray) -> np.ndarray:
+        return -u * u + np.sin(3.0 * t)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced PFASST(2-level) run at P_T=4: (result, tracer, metrics)."""
+    problem = _Scalar()
+    cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=P_TIME,
+                       iterations=ITERATIONS, trace=True)
+    specs = [
+        LevelSpec(problem, num_nodes=3, sweeps=1),
+        LevelSpec(problem, num_nodes=2, sweeps=2),
+    ]
+    tracer = Tracer(meta={"suite": "test_obs_export"})
+    metrics = MetricsRegistry()
+    with use_metrics(metrics):
+        result = run_pfasst(cfg, specs, np.array([1.0]), p_time=P_TIME,
+                            cost_model=CommCostModel(),
+                            measure_compute=True, tracer=tracer)
+    return result, tracer, metrics
+
+
+@pytest.fixture(scope="module")
+def chrome(traced):
+    """The exported-and-reparsed Chrome trace (what Perfetto would load)."""
+    _, tracer, _ = traced
+    return chrome_trace(tracer)
+
+
+def _complete_events_by_tid(chrome):
+    """pid-0 (virtual time) "X" events grouped by thread id."""
+    by_tid = defaultdict(list)
+    for ev in chrome["traceEvents"]:
+        if ev.get("ph") == "X" and ev["pid"] == 0:
+            by_tid[ev["tid"]].append(ev)
+    for events in by_tid.values():
+        events.sort(key=lambda e: e["ts"])
+    return dict(by_tid)
+
+
+def _instants(chrome, name):
+    return [ev for ev in chrome["traceEvents"]
+            if ev.get("ph") == "i" and ev["name"] == name]
+
+
+class TestNativeRoundTrip:
+    def test_save_load_preserves_everything(self, traced, tmp_path):
+        _, tracer, metrics = traced
+        path = save_trace(tracer, tmp_path / "t.json", metrics=metrics,
+                          meta={"extra": 1})
+        data = load_trace(path)
+        assert len(data.spans) == len(tracer.spans)
+        assert len(data.instants) == len(tracer.instants)
+        assert data.tracks() == tracer.tracks()
+        assert data.meta["suite"] == "test_obs_export"
+        assert data.meta["extra"] == 1
+        assert data.metrics["counters"]["mpi.messages"] > 0
+        first = data.spans[0]
+        assert (first.name, first.track, first.t0, first.t1) == (
+            tracer.spans[0].name, tracer.spans[0].track,
+            tracer.spans[0].t0, tracer.spans[0].t1)
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(ValueError, match="not a repro-trace file"):
+            load_trace(path)
+
+    def test_spans_to_csv(self, traced):
+        _, tracer, _ = traced
+        lines = spans_to_csv(tracer).strip().splitlines()
+        assert lines[0] == "track,name,clock,cat,t0,t1,duration"
+        assert len(lines) == len(tracer.spans) + 1
+
+
+class TestChromeTraceFig6:
+    """Acceptance: the exported Chrome JSON reproduces Fig. 6 structure."""
+
+    def test_export_is_valid_json_with_one_thread_per_rank(
+            self, traced, tmp_path):
+        _, tracer, _ = traced
+        path = export_chrome_trace(tracer, tmp_path / "t.chrome.json")
+        loaded = json.loads(path.read_text())  # parses cleanly
+        names = {(ev["pid"], ev["tid"]): ev["args"]["name"]
+                 for ev in loaded["traceEvents"]
+                 if ev.get("ph") == "M" and ev["name"] == "thread_name"}
+        for rank in range(P_TIME):
+            assert names[(0, rank)] == f"rank{rank}"
+
+    def test_every_rank_has_predictor_and_sweeps(self, chrome):
+        by_tid = _complete_events_by_tid(chrome)
+        for rank in range(P_TIME):
+            labels = [ev["name"] for ev in by_tid[rank]]
+            # Fig. 6 staircase: rank n performs n+1 predictor sweeps
+            assert sum(1 for l in labels
+                       if l.startswith("predict")) == rank + 1
+            for k in range(ITERATIONS):
+                assert f"sweep:L0:k{k}" in labels
+                assert f"sweep:L1:k{k}" in labels
+
+    def test_predictor_staircase_in_virtual_time(self, chrome):
+        """Rank n's j-th predictor sweep starts only after rank n-1's
+        (j-1)-th has finished — on the exported timeline itself."""
+        by_tid = _complete_events_by_tid(chrome)
+        start, end = {}, {}
+        for rank in range(P_TIME):
+            for ev in by_tid[rank]:
+                if ev["name"].startswith("predict:"):
+                    j = int(ev["name"].split(":")[1])
+                    start[(rank, j)] = ev["ts"]
+                    end[(rank, j)] = ev["ts"] + ev["dur"]
+        for rank in range(1, P_TIME):
+            for j in range(1, rank + 1):
+                assert start[(rank, j)] >= end[(rank - 1, j - 1)] - 1e-6
+
+    def test_neighbour_sends_precede_their_receives(self, chrome):
+        """Every message between neighbours appears on the timeline with
+        the send instant no later than the matching receive completes."""
+        sends = defaultdict(list)
+        recvs = defaultdict(list)
+        for ev in _instants(chrome, "send"):
+            sends[(ev["tid"], ev["args"]["dest"])].append(ev["ts"])
+        for ev in _instants(chrome, "recv"):
+            recvs[(ev["args"]["source"], ev["tid"])].append(ev["ts"])
+        pairs = [(r, r + 1) for r in range(P_TIME - 1)]
+        assert all(sends[p] for p in pairs), "no forward messages traced"
+        for pair in pairs:
+            assert len(sends[pair]) == len(recvs[pair])
+            for t_send, t_recv in zip(sorted(sends[pair]),
+                                      sorted(recvs[pair])):
+                assert t_send <= t_recv + 1e-6
+
+    def test_wall_spans_live_in_their_own_process(self, chrome):
+        pids = {ev["pid"] for ev in chrome["traceEvents"]
+                if ev.get("ph") == "X"}
+        assert 0 in pids  # virtual-time schedule
+        process_names = {ev["pid"]: ev["args"]["name"]
+                         for ev in chrome["traceEvents"]
+                         if ev.get("ph") == "M"
+                         and ev["name"] == "process_name"}
+        assert process_names[0] == "virtual time (simulated ranks)"
+        if 1 in pids:
+            wall = [ev for ev in chrome["traceEvents"]
+                    if ev.get("ph") == "X" and ev["pid"] == 1]
+            assert min(ev["ts"] for ev in wall) >= 0.0
+            assert process_names[1] == "wall clock"
+
+    def test_meta_travels_in_other_data(self, chrome):
+        assert chrome["otherData"]["suite"] == "test_obs_export"
+
+
+class TestRunPfasstMetrics:
+    def test_result_carries_message_counters(self, traced):
+        result, _, metrics = traced
+        counters = result.metrics["counters"]
+        assert counters["mpi.messages"] > 0
+        assert counters["mpi.bytes"] > 0
+        # per-pair series exist for every forward neighbour link
+        for r in range(P_TIME - 1):
+            assert counters[f"mpi.messages{{dest={r + 1},src={r}}}"] > 0
+        # the globally-installed registry saw the same totals
+        assert (metrics.as_dict()["counters"]["mpi.messages"]
+                == counters["mpi.messages"])

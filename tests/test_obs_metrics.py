@@ -1,0 +1,156 @@
+"""Tests for repro.obs.metrics — instruments, label series, export and
+the null fast path."""
+
+import gc
+import sys
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.counter("mpi.messages").inc()
+        m.counter("mpi.messages").inc(3)
+        assert m.counter("mpi.messages").value == 4
+
+    def test_counter_rejects_decrease(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            m.counter("c").inc(-1)
+
+    def test_gauge_overwrites(self):
+        m = MetricsRegistry()
+        m.gauge("alpha").set(0.25)
+        m.gauge("alpha").set(0.5)
+        assert m.gauge("alpha").value == 0.5
+
+    def test_histogram_summary(self):
+        m = MetricsRegistry()
+        h = m.histogram("ilist")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.summary() == {"count": 3, "total": 12.0, "min": 2.0,
+                               "max": 6.0, "mean": 4.0}
+
+    def test_empty_histogram_summary_is_zeros(self):
+        assert MetricsRegistry().histogram("h").summary()["count"] == 0
+
+    def test_instruments_are_reused_per_series(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+        assert m.counter("x", a=1) is not m.counter("x", a=2)
+
+
+class TestLabels:
+    def test_label_series_key_is_sorted(self):
+        m = MetricsRegistry()
+        m.counter("mpi.bytes", src=0, dest=1).inc(10)
+        m.counter("mpi.bytes", dest=1, src=0).inc(5)  # same series
+        assert m.as_dict()["counters"] == {"mpi.bytes{dest=1,src=0}": 15}
+
+    def test_unlabelled_and_labelled_are_distinct(self):
+        m = MetricsRegistry()
+        m.counter("msgs").inc()
+        m.counter("msgs", src=0).inc()
+        counters = m.as_dict()["counters"]
+        assert set(counters) == {"msgs", "msgs{src=0}"}
+
+
+class TestExport:
+    def test_as_dict_shape(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(2.0)
+        snap = m.as_dict()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_to_csv_rows(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(2)
+        m.histogram("h").observe(1.0)
+        lines = m.to_csv().strip().splitlines()
+        assert lines[0] == "kind,name,field,value"
+        assert "counter,c,value,2" in lines
+        assert sum(1 for l in lines if l.startswith("histogram,h,")) == 5
+
+    def test_merge_registry_and_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        a.gauge("g").set(1.0)
+        a.histogram("h").observe(1.0)
+        b.counter("c").inc(2)
+        b.gauge("g").set(2.0)
+        b.histogram("h").observe(3.0)
+        a.merge(b)                      # live registry
+        a.merge(b.as_dict())            # plain snapshot dict
+        snap = a.as_dict()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.0          # gauges overwrite
+        assert snap["histograms"]["h"] == {
+            "count": 3, "total": 7.0, "min": 1.0, "max": 3.0,
+            "mean": pytest.approx(7.0 / 3.0)}
+
+    def test_merge_skips_empty_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h")  # registered but never observed
+        a.merge(b)
+        assert a.as_dict()["histograms"] == {}
+
+
+class TestNullFastPath:
+    def test_default_registry_is_null(self):
+        assert get_metrics() is NULL_METRICS
+        assert not NULL_METRICS.enabled
+
+    def test_null_factories_share_one_instrument(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+        NULL_METRICS.counter("a").inc(5)
+        NULL_METRICS.gauge("g").set(1.0)
+        NULL_METRICS.histogram("h").observe(2.0)
+        assert NULL_METRICS.as_dict() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+
+    def test_disabled_counter_loop_allocates_nothing(self):
+        def hot_loop(n):
+            m = get_metrics()
+            for i in range(n):
+                if m.enabled:
+                    m.counter("tree.mac_tests").inc()
+
+        hot_loop(100)
+        gc.collect()
+        before = sys.getallocatedblocks()
+        hot_loop(10_000)
+        after = sys.getallocatedblocks()
+        assert after - before <= 2
+
+    def test_use_metrics_scoping(self):
+        m = MetricsRegistry()
+        with use_metrics(m) as installed:
+            assert installed is m
+            assert get_metrics() is m
+            get_metrics().counter("c").inc()
+        assert get_metrics() is NULL_METRICS
+        assert m.counter("c").value == 1
+
+    def test_set_metrics_none_restores_null(self):
+        m = MetricsRegistry()
+        set_metrics(m)
+        try:
+            assert get_metrics() is m
+        finally:
+            set_metrics(None)
+        assert get_metrics() is NULL_METRICS
