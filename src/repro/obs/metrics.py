@@ -29,6 +29,8 @@ or bundle into a trace file via :func:`repro.obs.export.save_trace`.
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
@@ -214,17 +216,25 @@ class MetricsRegistry:
 
     def to_csv(self) -> str:
         """Flat ``kind,name,field,value`` rows (one histogram field per
-        row), deterministic order."""
-        rows = ["kind,name,field,value"]
+        row), deterministic order.
+
+        Fields are quoted per RFC 4180 via :mod:`csv`: multi-label series
+        names are comma-joined (``msg_bytes{dst=1,src=0}``), so writing
+        them unquoted would split one name across several columns and
+        corrupt every per-rank-pair scheduler metric.
+        """
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(["kind", "name", "field", "value"])
         snapshot = self.as_dict()
         for name, value in snapshot["counters"].items():
-            rows.append(f"counter,{name},value,{value}")
+            writer.writerow(["counter", name, "value", value])
         for name, value in snapshot["gauges"].items():
-            rows.append(f"gauge,{name},value,{value}")
+            writer.writerow(["gauge", name, "value", value])
         for name, summary in snapshot["histograms"].items():
             for fld in ("count", "total", "min", "max", "mean"):
-                rows.append(f"histogram,{name},{fld},{summary[fld]}")
-        return "\n".join(rows) + "\n"
+                writer.writerow(["histogram", name, fld, summary[fld]])
+        return buf.getvalue()
 
     def merge(self, other: "MetricsRegistry | Dict[str, Dict[str, Any]]") -> None:
         """Fold another registry (or an ``as_dict`` snapshot) into this

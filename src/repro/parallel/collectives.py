@@ -2,13 +2,20 @@
 
 Implemented on top of point-to-point messages with binomial-tree schedules,
 so their virtual-time cost scales like ``O(log P)`` — matching how real MPI
-implementations behave on the machines the paper targets.
+implementations behave on the machines the paper targets.  ``allgather``
+uses the classic ring schedule (P-1 neighbour exchanges), the same
+communication pattern PEPC uses for its branch-node exchange.
 
 All helpers are generator functions used with ``yield from`` inside a rank
 program::
 
     value = yield from bcast(comm, value, root=0)
     total = yield from allreduce(comm, my_part, op=operator.add)
+
+Every collective threads the ``timeout`` / ``retries`` / ``backoff``
+recovery kwargs into its receive legs, so a collective over a lossy link
+(fault-injected drops or corruption) recovers by bounded link-layer
+retransmission instead of hanging — see :mod:`repro.parallel.faults`.
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ from typing import Any, Callable, Generator, List, Optional
 
 from repro.parallel.simmpi import VirtualComm
 
-__all__ = ["bcast", "reduce", "allreduce", "gather", "scatter", "barrier"]
+__all__ = ["bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
+           "barrier"]
 
 
 def _vrank(rank: int, root: int, size: int) -> int:
@@ -38,13 +46,7 @@ def bcast(
     retries: int = 0,
     backoff: float = 0.0,
 ) -> Generator[Any, Any, Any]:
-    """Binomial-tree broadcast; returns the root's value on every rank.
-
-    ``timeout`` / ``retries`` / ``backoff`` are threaded into the
-    receive leg so a broadcast over a lossy link (fault-injected drops
-    or corruption) recovers by bounded link-layer retransmission — see
-    :mod:`repro.parallel.faults`.
-    """
+    """Binomial-tree broadcast; returns the root's value on every rank."""
     size, rank = comm.size, comm.rank
     if size == 1:
         return value
@@ -83,6 +85,9 @@ def reduce(
     op: Callable[[Any, Any], Any] = operator.add,
     root: int = 0,
     tag: str = "_reduce",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> Generator[Any, Any, Optional[Any]]:
     """Binomial-tree reduction; only the root returns the combined value."""
     size, rank = comm.size, comm.rank
@@ -94,7 +99,10 @@ def reduce(
             return None
         peer = me + mask
         if peer < size:
-            other = yield comm.recv(_arank(peer, root, size), (tag, mask))
+            other = yield comm.recv(
+                _arank(peer, root, size), (tag, mask),
+                timeout=timeout, retries=retries, backoff=backoff,
+            )
             value = op(value, other)
         mask <<= 1
     return value
@@ -105,18 +113,33 @@ def allreduce(
     value: Any,
     op: Callable[[Any, Any], Any] = operator.add,
     tag: Any = "_allreduce",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> Generator[Any, Any, Any]:
     """Reduce to rank 0, then broadcast the result (cost ~ 2 log P).
 
     ``tag`` may be any hashable (tuples included); sub-phases derive
     distinct tags from it.
     """
-    reduced = yield from reduce(comm, value, op=op, root=0, tag=(tag, "r"))
-    return (yield from bcast(comm, reduced, root=0, tag=(tag, "b")))
+    reduced = yield from reduce(
+        comm, value, op=op, root=0, tag=(tag, "r"),
+        timeout=timeout, retries=retries, backoff=backoff,
+    )
+    return (yield from bcast(
+        comm, reduced, root=0, tag=(tag, "b"),
+        timeout=timeout, retries=retries, backoff=backoff,
+    ))
 
 
 def gather(
-    comm: VirtualComm, value: Any, root: int = 0, tag: str = "_gather"
+    comm: VirtualComm,
+    value: Any,
+    root: int = 0,
+    tag: str = "_gather",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> Generator[Any, Any, Optional[List[Any]]]:
     """Gather one value per rank into a list at the root (flat schedule)."""
     size, rank = comm.size, comm.rank
@@ -125,7 +148,10 @@ def gather(
         out[root] = value
         for src in range(size):
             if src != root:
-                out[src] = yield comm.recv(src, (tag, src))
+                out[src] = yield comm.recv(
+                    src, (tag, src),
+                    timeout=timeout, retries=retries, backoff=backoff,
+                )
         return out
     yield comm.send(root, (tag, rank), value)
     return None
@@ -136,6 +162,9 @@ def scatter(
     values: Optional[List[Any]],
     root: int = 0,
     tag: str = "_scatter",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> Generator[Any, Any, Any]:
     """Scatter a list from the root; each rank returns its element."""
     size, rank = comm.size, comm.rank
@@ -149,15 +178,71 @@ def scatter(
             if dest != root:
                 yield comm.send(dest, (tag, dest), values[dest])
         return values[root]
-    return (yield from (_recv_one(comm, root, (tag, rank))))
+    return (yield from _recv_one(
+        comm, root, (tag, rank),
+        timeout=timeout, retries=retries, backoff=backoff,
+    ))
 
 
-def _recv_one(comm: VirtualComm, src: int, tag: Any) -> Generator[Any, Any, Any]:
-    value = yield comm.recv(src, tag)
+def _recv_one(
+    comm: VirtualComm,
+    src: int,
+    tag: Any,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+) -> Generator[Any, Any, Any]:
+    value = yield comm.recv(
+        src, tag, timeout=timeout, retries=retries, backoff=backoff
+    )
     return value
 
 
-def barrier(comm: VirtualComm, tag: str = "_barrier") -> Generator[Any, Any, None]:
+def allgather(
+    comm: VirtualComm,
+    value: Any,
+    tag: str = "_allgather",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+) -> Generator[Any, Any, List[Any]]:
+    """Ring allgather: every rank returns ``[value_0, ..., value_{P-1}]``.
+
+    P-1 rounds; in round ``k`` each rank forwards to its right neighbour
+    the value it received in round ``k-1`` (its own in round 0), so each
+    contribution travels around the ring exactly once.  This is the
+    neighbour-exchange pattern of PEPC's branch-node exchange (paper
+    Sec. III-A) and costs ``O(P)`` latency but only ``2 (P-1) / P`` of
+    the total payload per link — cheaper than gather+bcast for the large
+    branch payloads it carries here.
+    """
+    size, rank = comm.size, comm.rank
+    out: List[Any] = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    cur = value
+    for step in range(size - 1):
+        yield comm.send(right, (tag, step), cur)
+        cur = yield comm.recv(
+            left, (tag, step),
+            timeout=timeout, retries=retries, backoff=backoff,
+        )
+        out[(rank - step - 1) % size] = cur
+    return out
+
+
+def barrier(
+    comm: VirtualComm,
+    tag: str = "_barrier",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+) -> Generator[Any, Any, None]:
     """Synchronise all ranks (allreduce of a token)."""
-    yield from allreduce(comm, 0, tag=tag)
+    yield from allreduce(
+        comm, 0, tag=tag, timeout=timeout, retries=retries, backoff=backoff
+    )
     return None

@@ -79,6 +79,7 @@ __all__ = [
     "Recv",
     "Work",
     "VirtualComm",
+    "SubComm",
     "Scheduler",
     "DeadlockError",
     "OrphanMessageWarning",
@@ -226,6 +227,10 @@ class VirtualComm:
         self.rank = rank
         self.size = size
         self._scheduler = scheduler
+        #: collective-call counter giving each ``split`` a distinct comm id;
+        #: consistent across ranks because splits are collective (every
+        #: member calls them in the same order, like MPI communicators)
+        self._split_seq = 0
 
     def send(self, dest: int, tag: Hashable, payload: Any) -> Send:
         if not 0 <= dest < self.size:
@@ -268,6 +273,128 @@ class VirtualComm:
     def clock(self) -> float:
         """Current virtual time of this rank (seconds)."""
         return self._scheduler.clocks[self.rank]
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's identity in the scheduler world (= ``rank`` here)."""
+        return self.rank
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The scheduler's per-run metrics registry (for rank programs)."""
+        return self._scheduler.metrics
+
+    def translate(self, rank: int) -> int:
+        """Map a rank of *this* communicator to its scheduler-world rank."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+        return rank
+
+    def split(
+        self, color: Optional[Hashable], key: Optional[int] = None
+    ) -> Generator[Any, Any, Optional["SubComm"]]:
+        """Collective ``MPI_Comm_split``: partition this comm by ``color``.
+
+        Every rank of the communicator must call ``split`` (it is a
+        collective built from point-to-point messages: a flat gather of
+        ``(rank, color, key)`` to rank 0 followed by a broadcast of the
+        grouping).  Ranks sharing a ``color`` form one :class:`SubComm`,
+        ordered by ``(key, rank)`` — ``key`` defaults to the caller's
+        rank, so omitting it preserves parent order.  Passing
+        ``color=None`` opts out (returns ``None``), mirroring
+        ``MPI_UNDEFINED``.
+
+        Works recursively: splitting a :class:`SubComm` wraps tags one
+        level deeper, so a P_T x P_S world can be split into per-row
+        space comms and per-column time comms (paper Fig. 2) from one
+        scheduler world.  Use with ``yield from`` inside a rank program::
+
+            space = yield from world.split(color=t_index, key=s_index)
+        """
+        seq = self._split_seq
+        self._split_seq += 1
+        tag = ("_split", seq)
+        entry = (self.rank, color, self.rank if key is None else key)
+        if self.rank == 0:
+            entries = [entry]
+            for src in range(1, self.size):
+                entries.append((yield self.recv(src, (tag, src))))
+            groups: Dict[Hashable, List[Tuple[int, int]]] = {}
+            for r, c, k in entries:
+                if c is not None:
+                    groups.setdefault(c, []).append((k, r))
+            table = {c: [r for _, r in sorted(pairs)]
+                     for c, pairs in groups.items()}
+            for dest in range(1, self.size):
+                yield self.send(dest, (tag, "b", dest), table)
+        else:
+            yield self.send(0, (tag, self.rank), entry)
+            table = yield self.recv(0, (tag, "b", self.rank))
+        if color is None:
+            return None
+        members = table[color]
+        return SubComm(self, members, members.index(self.rank),
+                       ("sub", seq, color))
+
+
+class SubComm(VirtualComm):
+    """A sub-communicator produced by :meth:`VirtualComm.split`.
+
+    Pure tag-translation layer: ops are constructed by the parent comm
+    with ranks mapped through the member list and tags wrapped as
+    ``(comm_id, tag)``, so traffic on different sub-communicators can
+    never collide even when they share scheduler-world rank pairs.  The
+    scheduler itself is untouched — a :class:`SubComm` is just a view.
+    """
+
+    def __init__(self, parent: VirtualComm, members: List[int], rank: int,
+                 comm_id: Hashable) -> None:
+        super().__init__(rank, len(members), parent._scheduler)
+        self.parent = parent
+        self.members = list(members)
+        self._comm_id = comm_id
+
+    def send(self, dest: int, tag: Hashable, payload: Any) -> Send:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range 0..{self.size - 1}")
+        if dest == self.rank:
+            raise ValueError("self-sends are not supported")
+        return self.parent.send(
+            self.members[dest], (self._comm_id, tag), payload
+        )
+
+    def recv(
+        self,
+        source: int,
+        tag: Hashable,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.0,
+    ) -> Recv:
+        if not 0 <= source < self.size:
+            raise ValueError(
+                f"source {source} out of range 0..{self.size - 1}"
+            )
+        if source == self.rank:
+            raise ValueError("self-receives are not supported")
+        return self.parent.recv(
+            self.members[source], (self._comm_id, tag),
+            timeout=timeout, retries=retries, backoff=backoff,
+        )
+
+    @property
+    def clock(self) -> float:
+        """Virtual time of the underlying world rank (not the sub-rank)."""
+        return self.parent.clock
+
+    @property
+    def world_rank(self) -> int:
+        return self.parent.world_rank
+
+    def translate(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+        return self.parent.translate(self.members[rank])
 
 
 RankProgram = Callable[[VirtualComm], Generator[Any, Any, Any]]
@@ -654,15 +781,26 @@ class Scheduler:
 
     def _expire_one_timeout(self, states: List[_RankState],
                             pending: set) -> bool:
-        """Expire the lowest-rank timed-out receive at a global stall.
+        """Expire one timed-out receive at a global stall.
 
         Returns True when a receive was resolved (by shadow-copy
         retransmit or by throwing :class:`RecvTimeout` into the
-        program), so the scheduling loop can continue.  The expiry
-        order is rank-ascending regardless of ``service_order``:
-        results never depend on it because each expiry only touches the
-        expiring rank's own state and clock.
+        program), so the scheduling loop can continue.  Victim choice
+        is deterministic and independent of ``service_order``:
+
+        1. A receive that can *retransmit* (pristine shadow copy of a
+           dropped/corrupted message available, retries left) is always
+           preferred — retransmission is silent and side-effect free.
+           Ties break rank-ascending.
+        2. Otherwise :class:`RecvTimeout` is thrown into the receive
+           with the *smallest timeout value* (then earliest deadline,
+           then lowest rank).  Failure-detection receives are posted
+           with short timeouts and protocol collectives with long ones,
+           so the detection point designed to catch the exception fires
+           before a collective leg that cannot.
         """
+        retransmit_rank: Optional[int] = None
+        throw_key: Optional[Tuple[float, float, int]] = None
         for rank in sorted(pending):
             state = states[rank]
             if state.blocked_on is None or state.recv_op is None:
@@ -671,45 +809,62 @@ class Scheduler:
             if recv_op.timeout is None:
                 continue
             source, tag = state.blocked_on
-            self.clocks[rank] += recv_op.timeout
             shadow = self._shadow.get((source, rank, tag))
             if shadow and state.retries_left > 0:
-                pristine: _Message = shadow.popleft()
-                state.retries_left -= 1
-                cost = recv_op.backoff + self.cost_model.transfer_time(
-                    payload_bytes(pristine.payload)
+                if retransmit_rank is None:
+                    retransmit_rank = rank
+                continue
+            key = (recv_op.timeout, self.clocks[rank] + recv_op.timeout, rank)
+            if throw_key is None or key < throw_key:
+                throw_key = key
+        if retransmit_rank is not None:
+            rank = retransmit_rank
+            state = states[rank]
+            recv_op = state.recv_op
+            source, tag = state.blocked_on
+            self.clocks[rank] += recv_op.timeout
+            pristine: _Message = self._shadow[(source, rank, tag)].popleft()
+            state.retries_left -= 1
+            cost = recv_op.backoff + self.cost_model.transfer_time(
+                payload_bytes(pristine.payload)
+            )
+            self.clocks[rank] += cost
+            self.metrics.counter("mpi.retransmissions").inc()
+            self.resilience.recovered.append(
+                FaultEvent(
+                    kind="retransmit", time=self.clocks[rank],
+                    rank=rank, source=source, dest=rank, tag=tag,
+                    cost=recv_op.timeout + cost,
+                    detail="lost message recovered after timeout",
                 )
-                self.clocks[rank] += cost
-                self.metrics.counter("mpi.retransmissions").inc()
-                self.resilience.recovered.append(
-                    FaultEvent(
-                        kind="retransmit", time=self.clocks[rank],
-                        rank=rank, source=source, dest=rank, tag=tag,
-                        cost=recv_op.timeout + cost,
-                        detail="lost message recovered after timeout",
-                    )
+            )
+            state.blocked_on = None
+            state.recv_op = None
+            state.send_value = pristine.payload
+            self._advance(rank, state)
+        elif throw_key is not None:
+            rank = throw_key[2]
+            state = states[rank]
+            recv_op = state.recv_op
+            source, tag = state.blocked_on
+            self.clocks[rank] += recv_op.timeout
+            self.resilience.recovered.append(
+                FaultEvent(
+                    kind="timeout", time=self.clocks[rank], rank=rank,
+                    source=source, dest=rank, tag=tag,
+                    cost=recv_op.timeout,
+                    detail="no message and nothing to retransmit",
                 )
-                state.blocked_on = None
-                state.recv_op = None
-                state.send_value = pristine.payload
-                self._advance(rank, state)
-            else:
-                self.resilience.recovered.append(
-                    FaultEvent(
-                        kind="timeout", time=self.clocks[rank], rank=rank,
-                        source=source, dest=rank, tag=tag,
-                        cost=recv_op.timeout,
-                        detail="no message and nothing to retransmit",
-                    )
-                )
-                exc = RecvTimeout(rank, source, tag, self.clocks[rank])
-                state.blocked_on = None
-                state.recv_op = None
-                self._advance(rank, state, throw=exc)
-            if state.finished:
-                pending.discard(rank)
-            return True
-        return False
+            )
+            exc = RecvTimeout(rank, source, tag, self.clocks[rank])
+            state.blocked_on = None
+            state.recv_op = None
+            self._advance(rank, state, throw=exc)
+        else:
+            return False
+        if state.finished:
+            pending.discard(rank)
+        return True
 
     def _advance(
         self,

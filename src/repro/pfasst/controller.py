@@ -49,18 +49,21 @@ instead of a deadlock.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.obs.tracer import Tracer
-from repro.parallel.collectives import allreduce, bcast
+from repro.parallel.collectives import allgather, allreduce, bcast
 from repro.parallel.faults import FaultPlan, RankFailure, RecvTimeout
 from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
+from repro.parallel.topology import SpaceTimeGrid
 from repro.pfasst.fas import fas_correction
 from repro.pfasst.level import Level, LevelSpec
 from repro.pfasst.transfer import SpatialTransfer, TimeSpaceTransfer
+from repro.sdc.sweeper import evaluate_rhs
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -227,11 +230,19 @@ def pfasst_rank_program(
     specs: Sequence[LevelSpec],
     u0: np.ndarray,
     spatial: Optional[Sequence[SpatialTransfer]] = None,
+    space: Optional[VirtualComm] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Rank program executing PFASST on one time rank.
 
     Yields simulated-MPI operations; returns a dict with the rank's end
     value, residual history and bookkeeping.
+
+    ``space`` optionally attaches a space communicator (a row of the
+    paper's Fig. 2 grid, typically from ``comm.split``): every RHS
+    evaluation is then driven collectively over its ranks via
+    :func:`repro.sdc.sweeper.evaluate_rhs`, sharding the tree work while
+    keeping the time algorithm — and, without a live ``space``, the op
+    stream — unchanged.
 
     With ``config.recovery != "fail"`` the program survives injected rank
     crashes (:class:`~repro.parallel.faults.RankFailure` thrown at an op
@@ -263,6 +274,13 @@ def pfasst_rank_program(
     # to the pre-fault-tolerance controller
     rt = config.recovery_timeout if ft else None
     rr = config.recovery_retries if ft else 0
+    # protocol collectives (status allreduces, block-end broadcast) use a
+    # longer timeout than the neighbour detection receives: a dropped
+    # collective leg still recovers by shadow retransmit, but at a crash
+    # stall the scheduler expires the *shortest* timeout first, so the
+    # neighbour receive — whose RecvTimeout the program catches — always
+    # fires before a collective leg, which cannot catch it
+    ct = rt * 8 if ft else None
 
     u_block = np.asarray(u0, dtype=np.float64).copy()
     residual_history: List[List[float]] = []
@@ -271,7 +289,7 @@ def pfasst_rank_program(
     recoveries: List[Dict[str, Any]] = []
 
     # ---- helpers (closures over the hierarchy) -------------------------
-    def _interpolate_up(t_slice: float) -> None:
+    def _interpolate_up(t_slice: float):
         """Fill the finer levels from the coarsest (predictor epilogue)."""
         for lev in range(n_levels - 2, -1, -1):
             tr = transfers[lev]
@@ -282,15 +300,15 @@ def pfasst_rank_program(
             # re-evaluate it from u0 (dirty flag)
             fine.u0_dirty = True
             if config.reeval_after_interp:
-                fine.F = _evaluate_all(fine, t_slice, dt)
+                fine.F = yield from _evaluate_all(fine, t_slice, dt, space)
             else:
                 fine.F = tr.interpolate_nodes(coarse.F)
             fine.tau = None
 
     def _predictor(block, attempt, t_slice, u0_by_level):
         coarsest.u0 = u0_by_level[-1]
-        coarsest.U, coarsest.F = coarsest.sweeper.initialize(
-            t_slice, dt, coarsest.u0, "spread"
+        coarsest.U, coarsest.F = yield from coarsest.sweeper.initialize_gen(
+            t_slice, dt, coarsest.u0, "spread", space=space
         )
         for j in range(rank + 1):
             new_u0 = None
@@ -302,8 +320,8 @@ def pfasst_rank_program(
                 coarsest.u0 = new_u0
             if config.trace:
                 yield comm.annotate(f"begin:predict:{j}")
-            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
-                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0
+            coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
+                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0, space=space
             )
             if config.trace:
                 yield comm.annotate(f"end:predict:{j}")
@@ -313,7 +331,7 @@ def pfasst_rank_program(
                     coarsest.end_value,
                 )
         # interpolate the predicted solution up through the hierarchy
-        _interpolate_up(t_slice)
+        yield from _interpolate_up(t_slice)
 
     def _iteration(block, attempt, k, t_slice, u0_by_level):
         """One V-cycle; returns the fine-level residual."""
@@ -325,9 +343,9 @@ def pfasst_rank_program(
                 yield comm.annotate(f"begin:sweep:L{lev}:k{k}")
             for s in range(level.spec.sweeps):
                 pass_u0 = level.u0 if (s == 0 and level.u0_dirty) else None
-                level.U, level.F = level.sweeper.sweep(
+                level.U, level.F = yield from level.sweeper.sweep_gen(
                     t_slice, dt, level.U, level.F,
-                    u0=pass_u0, tau=tau,
+                    u0=pass_u0, tau=tau, space=space,
                 )
             level.u0_dirty = False
             if config.trace:
@@ -345,7 +363,7 @@ def pfasst_rank_program(
             coarse.U = tr.restrict_nodes(level.U)
             coarse.U_at_restriction = coarse.U.copy()
             coarse.u0 = tr.restrict_state(level.u0)
-            coarse.F = _evaluate_all(coarse, t_slice, dt)
+            coarse.F = yield from _evaluate_all(coarse, t_slice, dt, space)
             coarse.F_at_restriction = coarse.F.copy()
             coarse.tau = fas_correction(
                 dt, tr, level.F, coarse.F,
@@ -366,9 +384,9 @@ def pfasst_rank_program(
         if config.trace:
             yield comm.annotate(f"begin:sweep:L{n_levels - 1}:k{k}")
         for s in range(coarsest.spec.sweeps):
-            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
+            coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
                 t_slice, dt, coarsest.U, coarsest.F,
-                u0=new_u0 if s == 0 else None, tau=coarsest.tau,
+                u0=new_u0 if s == 0 else None, tau=coarsest.tau, space=space,
             )
         if config.trace:
             yield comm.annotate(f"end:sweep:L{n_levels - 1}:k{k}")
@@ -388,7 +406,7 @@ def pfasst_rank_program(
                 coarse.U - coarse.U_at_restriction
             )
             if config.reeval_after_interp:
-                level.F = _evaluate_all(level, t_slice, dt)
+                level.F = yield from _evaluate_all(level, t_slice, dt, space)
             else:
                 # correct F by the interpolated increment of the
                 # coarse evaluations since restriction
@@ -412,15 +430,17 @@ def pfasst_rank_program(
             # intermediate levels sweep once more on the way up
             if 0 < lev:
                 pass_u0 = level.u0 if level.u0_dirty else None
-                level.U, level.F = level.sweeper.sweep(
+                level.U, level.F = yield from level.sweeper.sweep_gen(
                     t_slice, dt, level.U, level.F,
-                    u0=pass_u0, tau=level.tau,
+                    u0=pass_u0, tau=level.tau, space=space,
                 )
                 level.u0_dirty = False
             elif config.reeval_after_interp and not level.u0_dirty:
                 # keep the literal-Algorithm-1 mode's F fully
                 # consistent at node 0 as well
-                level.F[0] = level.problem.rhs(t_slice, level.u0)
+                level.F[0] = yield from evaluate_rhs(
+                    level.problem, space, t_slice, level.u0
+                )
 
         fine = levels[0]
         res = fine.sweeper.residual(dt, fine.U, fine.F, fine.u0)
@@ -429,6 +449,25 @@ def pfasst_rank_program(
                 "residual", data={"k": k, "residual": float(res)}
             )
         return res
+
+    def _protocol(gen, what):
+        """Escalate a timeout on a protocol collective to a hard error.
+
+        The collectives themselves recover dropped legs by shadow
+        retransmission (``retries``); a timeout surfacing here means a
+        peer rank crashed *inside* the recovery protocol or a message
+        was lost beyond the retransmit budget — both unrecoverable.
+        """
+        try:
+            result = yield from gen
+        except RecvTimeout as exc:
+            raise RuntimeError(
+                f"PFASST recovery protocol failure in {what}: a "
+                "collective leg timed out — a peer rank crashed inside "
+                "the protocol or a message was lost beyond the "
+                f"retransmit budget (retries={rr}); original: {exc}"
+            ) from exc
+        return result
 
     def _bump_attempt(attempt, block, failed, phase):
         if attempt + 1 > config.max_restarts:
@@ -505,19 +544,19 @@ def pfasst_rank_program(
         for tr in transfers:
             u0s.append(tr.restrict_state(u0s[-1]))
         coarsest.u0 = u0s[-1]
-        coarsest.U, coarsest.F = coarsest.sweeper.initialize(
-            t_slice, dt, coarsest.u0, "spread"
+        coarsest.U, coarsest.F = yield from coarsest.sweeper.initialize_gen(
+            t_slice, dt, coarsest.u0, "spread", space=space
         )
         if config.trace:
             yield comm.annotate("begin:warm-rebuild")
         for s in range(coarsest.spec.sweeps):
-            coarsest.U, coarsest.F = coarsest.sweeper.sweep(
+            coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
                 t_slice, dt, coarsest.U, coarsest.F,
-                u0=coarsest.u0 if s == 0 else None,
+                u0=coarsest.u0 if s == 0 else None, space=space,
             )
         if config.trace:
             yield comm.annotate("end:warm-rebuild")
-        _interpolate_up(t_slice)
+        yield from _interpolate_up(t_slice)
         # rank 0 consumes u0_by_level every iteration; its rebuilt chain
         # descends from u_blk, which is exactly what it must be
         return u0s if rank == 0 else u0_by_level
@@ -553,10 +592,11 @@ def pfasst_rank_program(
                     timeout_exc = exc
 
                 if ft:
-                    failed = yield from allreduce(
+                    failed = yield from _protocol(allreduce(
                         comm, (rank,) if my_crash else (),
                         op=_merge_ranks, tag=("ftpred", block, attempt),
-                    )
+                        timeout=ct, retries=rr,
+                    ), "predictor status allreduce")
                     if failed:
                         # a predictor-phase loss voids the staircase for
                         # everyone downstream: both policies redo the block
@@ -614,10 +654,11 @@ def pfasst_rank_program(
                         (rank,) if my_crash else (),
                         float("inf") if res is None else res,
                     )
-                    failed, worst = yield from allreduce(
+                    failed, worst = yield from _protocol(allreduce(
                         comm, status,
                         op=_merge_status, tag=("ftsync", block, attempt, k),
-                    )
+                        timeout=ct, retries=rr,
+                    ), "iteration status allreduce")
                     if failed:
                         attempt = _bump_attempt(
                             attempt, block, failed, "iteration"
@@ -660,10 +701,11 @@ def pfasst_rank_program(
                     if not ft:
                         # the ftsync allreduce already carried the
                         # residual when recovery is on
-                        worst = yield from allreduce(
+                        worst = yield from _protocol(allreduce(
                             comm, residuals[-1], op=max,
                             tag=("rtol", block, attempt, k),
-                        )
+                            timeout=ct, retries=rr,
+                        ), "residual allreduce")
                     if worst <= config.residual_tol:
                         break
                 k += 1
@@ -676,10 +718,11 @@ def pfasst_rank_program(
         residual_history = [residuals]  # keep the last block's history
 
         # chain blocks: broadcast the final slice's end value
-        u_block = yield from bcast(
+        u_block = yield from _protocol(bcast(
             comm, levels[0].end_value, root=p_time - 1,
             tag=("blockend", block, attempt),
-        )
+            timeout=ct, retries=rr,
+        ), "block-end broadcast")
 
     return {
         "rank": rank,
@@ -692,12 +735,54 @@ def pfasst_rank_program(
     }
 
 
-def _evaluate_all(level: Level, t_slice: float, dt: float) -> np.ndarray:
-    """Evaluate the level's RHS at every collocation node."""
+def _evaluate_all(
+    level: Level, t_slice: float, dt: float,
+    space: Optional[VirtualComm] = None,
+) -> Generator[Any, Any, np.ndarray]:
+    """Evaluate the level's RHS at every collocation node (generator)."""
     times = level.sweeper.node_times(t_slice, dt)
-    return np.stack(
-        [level.problem.rhs(t, u) for t, u in zip(times, level.U)], axis=0
+    F = []
+    for t, u in zip(times, level.U):
+        F.append((yield from evaluate_rhs(level.problem, space, t, u)))
+    return np.stack(F, axis=0)
+
+
+def _grid_rank_program(
+    comm: VirtualComm,
+    config: PfasstConfig,
+    specs: Sequence[LevelSpec],
+    u0: np.ndarray,
+    spatial: Optional[Sequence[SpatialTransfer]],
+    grid: SpaceTimeGrid,
+) -> Generator[Any, Any, Dict[str, Any]]:
+    """Rank program for the full P_T x P_S grid (paper Fig. 2).
+
+    Splits the world into this rank's space row and time column, runs
+    :func:`pfasst_rank_program` over the time communicator with the space
+    communicator sharding every RHS, then cross-checks that all space
+    ranks of the row hold bitwise-identical end values.
+    """
+    t_idx, s_idx = grid.coords(comm.rank)
+    space = yield from comm.split(color=t_idx, key=s_idx)
+    tcomm = yield from comm.split(color=s_idx, key=t_idx)
+    result = yield from pfasst_rank_program(
+        tcomm, config, specs, u0, spatial, space=space
     )
+    # every member of a space row drives identical time logic over
+    # identical full states, so end values must agree *bitwise* — any
+    # divergence means the space collective leaked rank-dependent data
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(result["end_value"]).tobytes(), digest_size=16
+    ).hexdigest()
+    digests = yield from allgather(space, digest, tag="space:digest")
+    if len(set(digests)) != 1:
+        raise RuntimeError(
+            f"space row {t_idx} diverged across its {space.size} ranks: "
+            f"end-value digests {digests}"
+        )
+    result["space_rank"] = s_idx
+    result["world_rank"] = comm.rank
+    return result
 
 
 def _collect_evaluator_stats(
@@ -735,8 +820,20 @@ def run_pfasst(
     fault_plan: Optional[FaultPlan] = None,
     service_order: str = "ascending",
     tracer: Optional[Tracer] = None,
+    p_space: int = 1,
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
+
+    ``p_space > 1`` runs the full ``p_time x p_space`` space-time grid
+    (paper Fig. 2): the scheduler world holds ``p_time * p_space`` ranks,
+    each splitting into its space row and time column, with every RHS
+    evaluation sharded over the row (requires problems whose evaluator is
+    a :class:`repro.tree.parallel.SpaceParallelTreeEvaluator`; other
+    problems silently fall back to redundant serial evaluation).  The
+    numerics are identical to ``p_space=1`` up to floating-point
+    accumulation order (the run cross-checks that all space columns agree
+    bitwise with each other).  Fault injection is only supported at
+    ``p_space=1`` — the recovery protocol reasons about time ranks.
 
     Set ``measure_compute=True`` (and a cost model) for speedup studies;
     leave it off for pure accuracy experiments, where virtual time is
@@ -756,14 +853,31 @@ def run_pfasst(
     ``repro-trace gantt`` to reproduce the paper's Fig. 6.
     """
     check_positive("p_time", p_time)
+    check_positive("p_space", p_space)
+    if p_space > 1 and fault_plan is not None:
+        raise ValueError(
+            "fault injection is not supported on the space-time grid; "
+            "run with p_space=1"
+        )
     scheduler = Scheduler(
-        p_time, cost_model=cost_model, measure_compute=measure_compute,
+        p_time * p_space, cost_model=cost_model,
+        measure_compute=measure_compute,
         verify=verify, fault_plan=fault_plan, service_order=service_order,
         tracer=tracer,
     )
-    results = scheduler.run(
-        pfasst_rank_program, args=(config, specs, np.asarray(u0), spatial)
-    )
+    if p_space > 1:
+        grid = SpaceTimeGrid(p_time, p_space)
+        results = scheduler.run(
+            _grid_rank_program,
+            args=(config, specs, np.asarray(u0), spatial, grid),
+        )
+        # all space columns are bitwise-identical (checked inside the
+        # program); report the s=0 column as the canonical one
+        results = [r for r in results if r["space_rank"] == 0]
+    else:
+        results = scheduler.run(
+            pfasst_rank_program, args=(config, specs, np.asarray(u0), spatial)
+        )
     by_rank = sorted(results, key=lambda r: r["rank"])
     return PfasstResult(
         u_end=by_rank[-1]["end_value"],

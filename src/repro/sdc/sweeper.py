@@ -27,9 +27,37 @@ from repro.sdc.quadrature import QuadratureRule
 from repro.utils.timing import TimingRegistry
 from repro.vortex.problem import ODEProblem
 
-__all__ = ["ExplicitSDCSweeper"]
+__all__ = ["ExplicitSDCSweeper", "evaluate_rhs"]
 
 InitStrategy = Literal["spread", "euler"]
+
+
+def evaluate_rhs(problem: ODEProblem, space, t: float, u: np.ndarray):
+    """RHS evaluation generator, space-parallel when ``space`` is live.
+
+    With a space communicator of size > 1 and a problem exposing
+    ``rhs_program`` the evaluation is driven collectively via
+    ``yield from``; otherwise it is a plain ``problem.rhs`` call with
+    *zero* yields, so serial op streams are byte-identical to the direct
+    call.  All sweeper/controller RHS sites route through here.
+    """
+    program = getattr(problem, "rhs_program", None)
+    if space is not None and space.size > 1 and program is not None:
+        result = yield from program(space, t, u)
+        return result
+    return problem.rhs(t, u)
+
+
+def _drain(gen):
+    """Run a generator expected to perform zero yields; return its value."""
+    try:
+        op = next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise RuntimeError(
+        f"synchronous sweep drove a communicating generator (yielded "
+        f"{op!r}); space-parallel evaluation requires the generator API"
+    )
 
 
 class ExplicitSDCSweeper:
@@ -61,6 +89,42 @@ class ExplicitSDCSweeper:
         return t0 + dt * self.rule.nodes
 
     # ------------------------------------------------------------------
+    def initialize_gen(
+        self,
+        t0: float,
+        dt: float,
+        u0: np.ndarray,
+        strategy: InitStrategy = "spread",
+        space=None,
+    ):
+        """Generator form of :meth:`initialize` (RHS via :func:`evaluate_rhs`).
+
+        Drive with ``yield from`` inside a rank program to shard the RHS
+        work over ``space``; without a live ``space`` it performs zero
+        yields and computes exactly what :meth:`initialize` does.
+        """
+        with self.timings.phase("initialize"):
+            m1 = self.num_nodes
+            times = self.node_times(t0, dt)
+            U = np.empty((m1,) + u0.shape, dtype=np.float64)
+            F = np.empty_like(U)
+            U[0] = u0
+            F[0] = yield from evaluate_rhs(self.problem, space, times[0], u0)
+            if strategy == "spread":
+                for m in range(1, m1):
+                    U[m] = u0
+                    F[m] = F[0]
+            elif strategy == "euler":
+                delta = dt * self.rule.delta
+                for m in range(1, m1):
+                    U[m] = U[m - 1] + delta[m - 1] * F[m - 1]
+                    F[m] = yield from evaluate_rhs(
+                        self.problem, space, times[m], U[m]
+                    )
+            else:
+                raise ValueError(f"unknown init strategy {strategy!r}")
+            return U, F
+
     def initialize(
         self,
         t0: float,
@@ -73,27 +137,49 @@ class ExplicitSDCSweeper:
         ``spread`` copies ``u0`` to every node (one RHS evaluation);
         ``euler`` marches forward Euler through the nodes (M+1 evaluations).
         """
-        with self.timings.phase("initialize"):
-            m1 = self.num_nodes
-            times = self.node_times(t0, dt)
-            U = np.empty((m1,) + u0.shape, dtype=np.float64)
-            F = np.empty_like(U)
-            U[0] = u0
-            F[0] = self.problem.rhs(times[0], u0)
-            if strategy == "spread":
-                for m in range(1, m1):
-                    U[m] = u0
-                    F[m] = F[0]
-            elif strategy == "euler":
-                delta = dt * self.rule.delta
-                for m in range(1, m1):
-                    U[m] = U[m - 1] + delta[m - 1] * F[m - 1]
-                    F[m] = self.problem.rhs(times[m], U[m])
-            else:
-                raise ValueError(f"unknown init strategy {strategy!r}")
-            return U, F
+        return _drain(self.initialize_gen(t0, dt, u0, strategy))
 
     # ------------------------------------------------------------------
+    def sweep_gen(
+        self,
+        t0: float,
+        dt: float,
+        U: np.ndarray,
+        F: np.ndarray,
+        u0: Optional[np.ndarray] = None,
+        tau: Optional[np.ndarray] = None,
+        space=None,
+    ):
+        """Generator form of :meth:`sweep` (RHS via :func:`evaluate_rhs`)."""
+        with self.timings.phase("sweep"):
+            m1 = self.num_nodes
+            times = self.node_times(t0, dt)
+            delta = dt * self.rule.delta
+            integral = dt * self.rule.integrate_node_to_node(F)
+            if tau is not None:
+                integral = integral + tau
+
+            U_new = np.empty_like(U)
+            F_new = np.empty_like(F)
+            if u0 is None:
+                U_new[0] = U[0]
+                F_new[0] = F[0]
+            else:
+                U_new[0] = u0
+                F_new[0] = yield from evaluate_rhs(
+                    self.problem, space, times[0], u0
+                )
+            for m in range(m1 - 1):
+                U_new[m + 1] = (
+                    U_new[m]
+                    + delta[m] * (F_new[m] - F[m])
+                    + integral[m + 1]
+                )
+                F_new[m + 1] = yield from evaluate_rhs(
+                    self.problem, space, times[m + 1], U_new[m + 1]
+                )
+            return U_new, F_new
+
     @boundary("sweep", arrays=["U", "F", "u0", "tau"])
     def sweep(
         self,
@@ -110,30 +196,7 @@ class ExplicitSDCSweeper:
         freshly received left-boundary value here); when omitted, ``U[0]``
         is kept and its evaluation ``F[0]`` is reused.
         """
-        with self.timings.phase("sweep"):
-            m1 = self.num_nodes
-            times = self.node_times(t0, dt)
-            delta = dt * self.rule.delta
-            integral = dt * self.rule.integrate_node_to_node(F)
-            if tau is not None:
-                integral = integral + tau
-
-            U_new = np.empty_like(U)
-            F_new = np.empty_like(F)
-            if u0 is None:
-                U_new[0] = U[0]
-                F_new[0] = F[0]
-            else:
-                U_new[0] = u0
-                F_new[0] = self.problem.rhs(times[0], u0)
-            for m in range(m1 - 1):
-                U_new[m + 1] = (
-                    U_new[m]
-                    + delta[m] * (F_new[m] - F[m])
-                    + integral[m + 1]
-                )
-                F_new[m + 1] = self.problem.rhs(times[m + 1], U_new[m + 1])
-            return U_new, F_new
+        return _drain(self.sweep_gen(t0, dt, U, F, u0=u0, tau=tau))
 
     # ------------------------------------------------------------------
     def residual(

@@ -1,0 +1,460 @@
+"""Space-parallel Barnes-Hut evaluation over simulated MPI (paper Fig. 2).
+
+This module *executes* the paper's space dimension: the P_S ranks of one
+space communicator (a row of the P_T x P_S grid, see
+:class:`repro.parallel.topology.SpaceTimeGrid`) cooperatively evaluate one
+tree RHS.  Following PEPC's Warren-Salmon structure (paper Sec. III-A,
+Fig. 3), each space rank
+
+1. owns a contiguous segment of the Morton space-filling curve (the
+   ``sfc_partition`` convention, snapped to leaf boundaries of the tree so
+   segments are whole target groups),
+2. derives its *branch nodes* — the minimal set of aligned octree cells
+   covering its occupied key interval (:func:`repro.tree.domain.cover_key_range`)
+   — and computes their multipole moments (m0/m1/m2 about the cell
+   centers) from its local particles alone,
+3. exchanges the branch payloads with an ``allgather`` ring collective
+   (:func:`repro.parallel.collectives.allgather`), byte-counted into the
+   scheduler metrics (``space.branch_bytes{...}``) — the traffic Fig. 5
+   shows dominating at small N/P_S,
+4. assembles the shared top-of-tree from the received branches (an upward
+   multipole translation of every branch to the root center) and verifies
+   it against the globally built tree,
+5. evaluates far and near interactions *only for its own target groups*
+   (a masked view of the global interaction lists driven through the
+   batched engine), and
+6. allgathers the per-segment RHS so every rank returns the identical
+   full field.
+
+Honest simplification versus distributed-memory PEPC: all rank programs
+live in one process, so the *globally shared octree* (the structure PEPC
+realises by branch exchange plus fetch-on-demand of remote multipoles) is
+represented by the in-process :class:`~repro.tree.state.TreeState`.  The
+branch exchange is nevertheless performed with real message traffic and
+real multipole payloads, and step 4 proves the exchanged data is
+sufficient to reconstruct the shared coarse tree — the quantity the
+virtual-time model measures.  The arithmetic work of steps 2/5 is
+genuinely sharded: each rank computes only its own segment sums and its
+own far/near interactions.
+
+Because the engine batches interactions differently for a segment than
+for the full particle set (different GEMM paddings, different
+``bincount`` accumulation orders), the assembled field matches the serial
+:class:`~repro.tree.evaluator.TreeEvaluator` to floating-point roundoff
+(relative ~1e-15 per call), not bitwise — the equivalence tests pin this
+down at fine and coarse theta.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.collectives import allgather
+from repro.parallel.simmpi import VirtualComm
+from repro.tree.build import Octree
+from repro.tree.domain import cover_key_range
+from repro.tree.engine import (
+    batched_far_vortex,
+    batched_near_vortex,
+    build_traversal_layout,
+)
+from repro.tree.evaluator import TreeEvaluator, _make_stats
+from repro.tree.mac import MACVariant
+from repro.tree.morton import cell_of_key, morton_encode, quantize
+from repro.tree.multipole import VortexMoments, _segment_sum
+from repro.tree.state import TreeState
+from repro.tree.traversal import InteractionLists
+from repro.vortex.rhs import VelocityField
+
+__all__ = ["SpaceConsistencyError", "SpaceShard", "SpaceParallelTreeEvaluator"]
+
+
+class SpaceConsistencyError(RuntimeError):
+    """The distributed tree view disagrees with the shared global tree."""
+
+
+class SpaceShard:
+    """Leaf-aligned partition of one tree's particle slots over P_S ranks.
+
+    ``bounds[r]:bounds[r+1]`` is rank ``r``'s contiguous range of *sorted*
+    particle slots; ``leaf_bounds`` the matching range into ``leaf_order``
+    (group indices sorted by their slot start).  Segments are contiguous
+    along the Morton curve and aligned to whole leaves, so every target
+    group belongs to exactly one rank and equal keys never straddle a
+    boundary.
+    """
+
+    def __init__(self, p_space: int, bounds: np.ndarray,
+                 leaf_bounds: np.ndarray, leaf_order: np.ndarray,
+                 keys: np.ndarray) -> None:
+        self.p_space = p_space
+        self.bounds = bounds
+        self.leaf_bounds = leaf_bounds
+        self.leaf_order = leaf_order
+        #: full-depth Morton keys of the sorted particles, placeholder
+        #: stripped — ascending by construction of the tree sort
+        self.keys = keys
+
+    def group_mask(self, rank: int, n_groups: int) -> np.ndarray:
+        """Boolean mask over group indices owned by ``rank``."""
+        mask = np.zeros(n_groups, dtype=bool)
+        lo, hi = self.leaf_bounds[rank], self.leaf_bounds[rank + 1]
+        mask[self.leaf_order[lo:hi]] = True
+        return mask
+
+
+def _particle_keys(tree: Octree) -> np.ndarray:
+    """Full-depth Morton keys of the tree's sorted particles (no placeholder)."""
+    keys = morton_encode(
+        quantize(tree.positions, tree.cube, tree.depth), tree.depth
+    )
+    mask = (np.uint64(1) << np.uint64(3 * tree.depth)) - np.uint64(1)
+    keys = keys & mask
+    if keys.size > 1 and not bool(np.all(keys[1:] >= keys[:-1])):
+        raise SpaceConsistencyError(
+            "tree particle keys are not ascending; the tree was not built "
+            "from a Morton sort over its own cube/depth"
+        )
+    return keys
+
+
+def compute_shard(state: TreeState, p_space: int) -> SpaceShard:
+    """The (cached) leaf-aligned P_S-way shard of a tree state."""
+    shards: Optional[Dict[int, SpaceShard]] = getattr(
+        state, "_space_shards", None
+    )
+    if shards is None:
+        shards = {}
+        state._space_shards = shards  # type: ignore[attr-defined]
+    found = shards.get(p_space)
+    if found is not None:
+        return found
+
+    tree = state.tree
+    groups = state.groups
+    n_leaves = int(groups.shape[0])
+    if p_space < 1:
+        raise ValueError(f"p_space must be >= 1, got {p_space}")
+    if p_space > n_leaves:
+        raise ValueError(
+            f"cannot shard {n_leaves} leaf groups over {p_space} space "
+            "ranks; reduce leaf_size or p_space"
+        )
+    starts = tree.node_start[groups]
+    leaf_order = np.argsort(starts, kind="stable").astype(np.int64)
+    sorted_starts = starts[leaf_order]
+
+    n = tree.n_particles
+    ideal = np.linspace(0, n, p_space + 1)
+    leaf_bounds = np.empty(p_space + 1, dtype=np.int64)
+    leaf_bounds[0], leaf_bounds[-1] = 0, n_leaves
+    for r in range(1, p_space):
+        j = int(np.searchsorted(sorted_starts, ideal[r], side="left"))
+        if j > 0 and (j == n_leaves
+                      or ideal[r] - sorted_starts[j - 1]
+                      < sorted_starts[j] - ideal[r]):
+            j -= 1
+        # keep at least one leaf per rank
+        leaf_bounds[r] = min(max(j, leaf_bounds[r - 1] + 1),
+                             n_leaves - (p_space - r))
+    bounds = np.empty(p_space + 1, dtype=np.int64)
+    bounds[0], bounds[-1] = 0, n
+    bounds[1:-1] = sorted_starts[leaf_bounds[1:-1]]
+
+    shard = SpaceShard(p_space, bounds, leaf_bounds, leaf_order,
+                       _particle_keys(tree))
+    shards[p_space] = shard
+    return shard
+
+
+def _sub_lists(lists: InteractionLists, mask: np.ndarray) -> InteractionLists:
+    """Interaction lists restricted to the target groups in ``mask``.
+
+    ``far_group`` / ``near_group`` index into the (full) ``groups`` array,
+    so masking the pair lists is sufficient — the engine handles groups
+    with zero pairs naturally and no index remapping is needed.
+    """
+    far_keep = mask[lists.far_group]
+    near_keep = mask[lists.near_group]
+    return InteractionLists(
+        groups=lists.groups,
+        far_group=lists.far_group[far_keep],
+        far_node=lists.far_node[far_keep],
+        near_group=lists.near_group[near_keep],
+        near_node=lists.near_node[near_keep],
+        mac_tests=lists.mac_tests,
+    )
+
+
+def branch_payload(
+    tree: Octree,
+    shard: SpaceShard,
+    charges_sorted: np.ndarray,
+    rank: int,
+) -> Dict[str, np.ndarray]:
+    """Branch cells and multipole payload of ``rank``'s key interval.
+
+    The branch set is :func:`cover_key_range` over the keys the rank's
+    particles actually occupy (the PEPC convention); each branch carries
+    monopole/dipole/quadrupole moments about its geometric cell center,
+    computed from the rank's local particles only.
+    """
+    depth = tree.depth
+    p_lo = int(shard.bounds[rank])
+    p_hi = int(shard.bounds[rank + 1])
+    keys = shard.keys[p_lo:p_hi]
+    cells = cover_key_range(int(keys[0]), int(keys[-1]), depth)
+    ckey = np.array([c[0] for c in cells], dtype=np.uint64)
+    clevel = np.array([c[1] for c in cells], dtype=np.int64)
+    span = np.uint64(1) << (
+        np.uint64(3) * (np.uint64(depth) - clevel.astype(np.uint64))
+    )
+    bs = np.searchsorted(keys, ckey, side="left")
+    be = np.searchsorted(keys, ckey + span, side="left")
+    counts = (be - bs).astype(np.int64)
+    if int(counts.sum()) != p_hi - p_lo:
+        raise SpaceConsistencyError(
+            f"branch cells of space rank {rank} cover {int(counts.sum())} "
+            f"particles, expected {p_hi - p_lo}"
+        )
+
+    centers = np.empty((len(cells), 3), dtype=np.float64)
+    for lvl in np.unique(clevel):
+        sel = clevel == lvl
+        key_at_lvl = ckey[sel] >> np.uint64(3 * (depth - int(lvl)))
+        c, _ = cell_of_key(key_at_lvl, int(lvl), tree.cube, depth)
+        centers[sel] = c
+
+    alpha = charges_sorted[p_lo:p_hi]
+    pos = tree.positions[p_lo:p_hi]
+    s0 = _segment_sum(alpha, bs, be)
+    s1 = _segment_sum(np.einsum("ni,nj->nij", alpha, pos), bs, be)
+    s2 = _segment_sum(np.einsum("ni,nj,nk->nijk", alpha, pos, pos), bs, be)
+    m0 = s0
+    m1 = s1 - np.einsum("bi,bj->bij", s0, centers)
+    m2 = 0.5 * (
+        s2
+        - np.einsum("bij,bk->bijk", s1, centers)
+        - np.einsum("bik,bj->bijk", s1, centers)
+        + np.einsum("bi,bj,bk->bijk", s0, centers, centers)
+    )
+    return {
+        "key": ckey, "level": clevel, "count": counts, "center": centers,
+        "m0": m0, "m1": m1, "m2": m2,
+    }
+
+
+def _payload_nbytes(payload: Dict[str, np.ndarray]) -> int:
+    total = 0
+    for arr in payload.values():
+        total += int(arr.nbytes)
+    return total
+
+
+def assemble_root(
+    tree: Octree, branches: List[Dict[str, np.ndarray]]
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Translate every exchanged branch to the root center and sum.
+
+    This is the upward pass of the shared top-of-tree restricted to its
+    apex: the returned ``(count, m0, m1, m2)`` must reproduce the global
+    root moments if (and only if) the branch exchange delivered a
+    complete, disjoint cover of the domain.
+    """
+    root_center = tree.node_center[0]
+    count = 0
+    m0 = np.zeros(3)
+    m1 = np.zeros((3, 3))
+    m2 = np.zeros((3, 3, 3))
+    for b in branches:
+        s = b["center"] - root_center  # (B, 3)
+        count += int(b["count"].sum())
+        m0 += b["m0"].sum(axis=0)
+        m1 += (b["m1"] + np.einsum("bi,bj->bij", b["m0"], s)).sum(axis=0)
+        m2 += (
+            b["m2"]
+            + 0.5 * np.einsum("bij,bl->bijl", b["m1"], s)
+            + 0.5 * np.einsum("bil,bj->bijl", b["m1"], s)
+            + 0.5 * np.einsum("bi,bj,bl->bijl", b["m0"], s, s)
+        ).sum(axis=0)
+    return count, m0, m1, m2
+
+
+def _verify_top(
+    tree: Octree,
+    moments: VortexMoments,
+    branches: List[Dict[str, np.ndarray]],
+) -> None:
+    """Check the exchanged branches rebuild the global root moments."""
+    count, m0, m1, m2 = assemble_root(tree, branches)
+    if count != tree.n_particles:
+        raise SpaceConsistencyError(
+            f"exchanged branches cover {count} particles, tree holds "
+            f"{tree.n_particles}"
+        )
+    scale = float(moments.abs_charge[0])
+    edge = tree.cube.size
+    for name, got, ref, atol in (
+        ("m0", m0, moments.m0[0], 1e-12 * max(scale, 1e-30)),
+        ("m1", m1, moments.m1[0], 1e-12 * max(scale * edge, 1e-30)),
+        ("m2", m2, moments.m2[0], 1e-12 * max(scale * edge * edge, 1e-30)),
+    ):
+        if not bool(np.allclose(got, ref, rtol=1e-9, atol=atol)):
+            raise SpaceConsistencyError(
+                f"root {name} assembled from exchanged branches deviates "
+                f"from the global tree: |diff|={float(np.max(np.abs(got - ref)))!r}"
+            )
+
+
+class SpaceParallelTreeEvaluator(TreeEvaluator):
+    """A :class:`TreeEvaluator` whose work is sharded over a space comm.
+
+    Construction and the synchronous :meth:`field` API are identical to
+    the serial evaluator (and bitwise-identical in results), so the same
+    instance serves both the ``p_space=1`` path and, through
+    :meth:`field_program`, the space-parallel path inside a rank program::
+
+        field = yield from evaluator.field_program(
+            space, positions, charges, gradient=True
+        )
+
+    ``space`` is the row communicator of the P_T x P_S grid (typically a
+    :class:`~repro.parallel.simmpi.SubComm` from ``comm.split``); passing
+    ``None`` or a size-1 comm falls back to the serial path with zero
+    yields, keeping op streams byte-identical.
+    """
+
+    def coarsened(
+        self, theta: float, mac_variant: Optional[MACVariant] = None
+    ) -> "SpaceParallelTreeEvaluator":
+        return SpaceParallelTreeEvaluator(
+            self.kernel,
+            self.sigma,
+            theta=theta,
+            order=self.order,
+            leaf_size=self.leaf_size,
+            mac_variant=self.mac_variant if mac_variant is None else mac_variant,
+            cache=self.cache,
+            batch_budget_bytes=self.batch_budget_bytes,
+        )
+
+    # -- the space-parallel pipeline ------------------------------------
+    def _segment_layout(
+        self,
+        state: TreeState,
+        lists: InteractionLists,
+        shard: SpaceShard,
+        rank: int,
+    ):
+        """Masked interaction lists + engine layout for one segment."""
+        key = (float(self.theta), str(self.mac_variant),
+               ("seg", shard.p_space, rank))
+        found = state.engine_layouts.get(key)
+        if found is not None:
+            return found
+        mask = shard.group_mask(rank, lists.n_groups)
+        sub = _sub_lists(lists, mask)
+        with self.phases.phase("layout"):
+            layout = build_traversal_layout(state.tree, sub)
+        found = (sub, layout)
+        state.engine_layouts[key] = found
+        return found
+
+    def field_program(
+        self,
+        space: Optional[VirtualComm],
+        positions: np.ndarray,
+        charges: np.ndarray,
+        gradient: bool = True,
+    ) -> Generator[Any, Any, VelocityField]:
+        """Space-collective field evaluation; returns the full field.
+
+        Every rank of ``space`` must drive this generator at the same
+        call site (it is a collective: two allgathers plus annotations).
+        The returned :class:`VelocityField` covers *all* particles and is
+        identical on every space rank.
+        """
+        if space is None or space.size == 1:
+            return self.field(positions, charges, gradient=gradient)
+
+        self.calls += 1
+        rank, p_space = space.rank, space.size
+        state, build_cached = self.cache.state(
+            positions, self.leaf_size, self.phases
+        )
+        tree = state.tree
+        moments, moments_cached = state.vortex_moments(charges, self.phases)
+        lists, traversal_cached = state.traversal(
+            self.theta, self.mac_variant, moments.bmax, self.phases
+        )
+        shard = compute_shard(state, p_space)
+        p_lo = int(shard.bounds[rank])
+        p_hi = int(shard.bounds[rank + 1])
+        charges_sorted = charges[tree.order]
+
+        # ---- branch exchange (paper Fig. 3 / Fig. 5) -------------------
+        yield space.annotate("begin:space:branch-exchange")
+        payload = branch_payload(tree, shard, charges_sorted, rank)
+        nbytes = _payload_nbytes(payload)
+        metrics = space.metrics
+        wr = space.world_rank
+        metrics.counter("space.branch_bytes").inc(nbytes)
+        metrics.counter("space.branch_bytes", rank=wr).inc(nbytes)
+        metrics.counter("space.branch_cells", rank=wr).inc(
+            int(payload["key"].shape[0])
+        )
+        branches = yield from allgather(space, payload, tag="space:brx")
+        _verify_top(tree, moments, branches)
+        yield space.annotate("end:space:branch-exchange")
+
+        # ---- local far/near evaluation ---------------------------------
+        yield space.annotate("begin:space:compute")
+        sub, layout = self._segment_layout(state, lists, shard, rank)
+        n = positions.shape[0]
+        vel = np.zeros((n, 3))
+        grad = np.zeros((n, 3, 3)) if gradient else None
+        with self.phases.phase("far_field"):
+            batched_far_vortex(
+                tree, moments, layout, self.kernel, self.sigma,
+                self.order, gradient, vel, grad,
+                budget_bytes=self.batch_budget_bytes,
+            )
+        with self.phases.phase("near_field"):
+            batched_near_vortex(
+                tree, charges_sorted, layout, self.kernel, self.sigma,
+                gradient, self._exclude_zero, vel, grad,
+                budget_bytes=self.batch_budget_bytes,
+            )
+        self.last_stats = _make_stats(
+            tree, sub, build_cached, moments_cached, traversal_cached
+        )
+        yield space.annotate("end:space:compute")
+
+        # ---- allgather the RHS segments --------------------------------
+        yield space.annotate("begin:space:rhs-allgather")
+        seg = (
+            np.ascontiguousarray(vel[p_lo:p_hi]),
+            np.ascontiguousarray(grad[p_lo:p_hi]) if gradient else None,
+        )
+        seg_bytes = int(seg[0].nbytes + (seg[1].nbytes if gradient else 0))
+        metrics.counter("space.rhs_bytes", rank=wr).inc(seg_bytes)
+        segments = yield from allgather(space, seg, tag="space:rhs")
+        vel_sorted = np.empty((n, 3))
+        grad_sorted = np.empty((n, 3, 3)) if gradient else None
+        for r in range(p_space):
+            a, b = int(shard.bounds[r]), int(shard.bounds[r + 1])
+            vel_sorted[a:b] = segments[r][0]
+            if gradient:
+                grad_sorted[a:b] = segments[r][1]
+        yield space.annotate("end:space:rhs-allgather")
+
+        # scatter from Morton order back to caller order
+        out_v = np.empty_like(vel_sorted)
+        out_v[tree.order] = vel_sorted
+        out_g = None
+        if gradient:
+            out_g = np.empty_like(grad_sorted)
+            out_g[tree.order] = grad_sorted
+        return VelocityField(out_v, out_g)

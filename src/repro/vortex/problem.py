@@ -140,6 +140,28 @@ class VortexProblem(ODEProblem):
         field = self.evaluator.field(positions, charges, gradient=True)
         return pack_state(field.velocity, field.stretching(vorticity, self.scheme))
 
+    def rhs_program(self, space, t: float, u: np.ndarray):
+        """Generator form of :meth:`rhs` for space-parallel evaluation.
+
+        When ``space`` is a live communicator (size > 1) and the
+        evaluator exposes ``field_program`` (see
+        :class:`repro.tree.parallel.SpaceParallelTreeEvaluator`), the
+        field solve is driven collectively over the space ranks via
+        ``yield from``.  Otherwise this degenerates to :meth:`rhs` with
+        *zero* yields, so serial op streams stay byte-identical.
+        """
+        program = getattr(self.evaluator, "field_program", None)
+        if space is None or space.size == 1 or program is None:
+            return self.rhs(t, u)
+        positions, vorticity = unpack_state(u)
+        if positions.shape[0] != self.n:
+            raise ValueError(
+                f"state carries {positions.shape[0]} particles, expected {self.n}"
+            )
+        charges = vorticity * self.volumes[:, None]
+        field = yield from program(space, positions, charges, gradient=True)
+        return pack_state(field.velocity, field.stretching(vorticity, self.scheme))
+
     def with_evaluator(self, evaluator: FieldEvaluator) -> "VortexProblem":
         """Same problem, different field evaluator (used for coarse levels)."""
         return VortexProblem(self.volumes, evaluator, self.scheme)

@@ -139,3 +139,56 @@ class TestBranchCounts:
         totals = [branch_counts(sfc_partition(pos, p)).sum()
                   for p in (2, 8, 32)]
         assert totals[0] < totals[1] < totals[2]
+
+
+class TestBranchesVersusCover:
+    """branch_counts must agree, rank by rank, with a direct
+    cover_key_range over each rank's occupied key interval — and the
+    cover cells must tile exactly that rank's particles."""
+
+    @pytest.mark.parametrize("curve", ["morton", "hilbert"])
+    @pytest.mark.parametrize("n_ranks", [3, 8])
+    def test_per_rank_counts_match_direct_cover(self, rng, curve, n_ranks):
+        pos = rng.random((900, 3))
+        d = sfc_partition(pos, n_ranks, curve=curve)
+        counts = branch_counts(d)
+        assert counts.shape == (n_ranks,)
+        for r in range(n_ranks):
+            s, e = int(d.rank_start[r]), int(d.rank_end[r])
+            cells = cover_key_range(
+                int(d.keys_sorted[s]), int(d.keys_sorted[e - 1])
+            )
+            assert counts[r] == len(cells)
+
+    @pytest.mark.parametrize("curve", ["morton", "hilbert"])
+    def test_cover_cells_tile_each_ranks_particles(self, rng, curve):
+        from repro.tree.morton import MAX_DEPTH
+
+        pos = rng.random((700, 3))
+        d = sfc_partition(pos, 5, curve=curve)
+        keys = d.keys_sorted
+        for r in range(d.n_ranks):
+            s, e = int(d.rank_start[r]), int(d.rank_end[r])
+            seg = keys[s:e]
+            total = 0
+            prev_end = None
+            for key, level in cover_key_range(int(seg[0]), int(seg[-1])):
+                span = 1 << (3 * (MAX_DEPTH - level))
+                assert key % span == 0  # cell-aligned
+                if prev_end is not None:
+                    assert key == prev_end  # contiguous, disjoint
+                prev_end = key + span
+                lo = np.searchsorted(seg, np.uint64(key), side="left")
+                hi = np.searchsorted(seg, np.uint64(key + span), side="left")
+                total += int(hi - lo)
+            assert total == e - s
+
+    def test_curves_disagree_on_layout_not_totals(self, rng):
+        """Hilbert and Morton order particles differently but both tile
+        all particles over the ranks."""
+        pos = rng.random((800, 3))
+        dm = sfc_partition(pos, 6, curve="morton")
+        dh = sfc_partition(pos, 6, curve="hilbert")
+        assert dm.counts.sum() == dh.counts.sum() == 800
+        assert np.all(branch_counts(dm) >= 1)
+        assert np.all(branch_counts(dh) >= 1)

@@ -122,3 +122,40 @@ class TestReproCliForwarding:
 
         assert repro_main(["trace", "summarize", str(trace_file)]) == 0
         assert "virtual makespan" in capsys.readouterr().out
+
+
+class TestSvgEscaping:
+    """Regression: span/track names with XML metacharacters used to be
+    interpolated raw into the SVG, producing unparseable documents."""
+
+    HOSTILE = 'sweep<script>&"x"</script>'
+
+    def _hostile_tracer(self):
+        tracer = Tracer()
+        tracer.vspan(self.HOSTILE, 0.0, 1.0, track='rank<0>&"',
+                     cat="phase")
+        tracer.vspan("wait:recv", 0.5, 1.0, track='rank<0>&"',
+                     cat="comm")
+        return tracer
+
+    def test_hostile_names_parse_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.obs.gantt import render_svg
+
+        svg = render_svg(self._hostile_tracer().spans)
+        root = ET.fromstring(svg)  # raises ParseError on raw < & "
+        text = "".join(root.itertext())
+        # the hostile names survive escaping verbatim
+        assert self.HOSTILE in text
+        assert 'rank<0>&"' in text
+
+    def test_legend_families_escaped(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.obs.gantt import render_svg, span_family
+
+        svg = render_svg(self._hostile_tracer().spans)
+        root = ET.fromstring(svg)
+        fam = span_family(self.HOSTILE)
+        assert fam in "".join(root.itertext())

@@ -154,3 +154,50 @@ class TestNullFastPath:
         finally:
             set_metrics(None)
         assert get_metrics() is NULL_METRICS
+
+
+class TestCsvQuoting:
+    """Regression: multi-label series names contain commas; unquoted CSV
+    output split one name across columns and corrupted every per-rank
+    scheduler metric."""
+
+    def test_multi_label_names_round_trip(self):
+        import csv
+        import io
+
+        m = MetricsRegistry()
+        m.counter("msg_bytes", src=0, dest=1).inc(64)
+        m.counter("msg_bytes", src=1, dest=0).inc(32)
+        m.gauge("q", stage="a,b").set(2.5)
+        m.histogram("lat", link='0"1').observe(1.0)
+        rows = list(csv.reader(io.StringIO(m.to_csv())))
+        assert rows[0] == ["kind", "name", "field", "value"]
+        # every row parses back to exactly four fields
+        assert all(len(r) == 4 for r in rows)
+        names = {(r[0], r[1]) for r in rows[1:]}
+        assert ("counter", "msg_bytes{dest=1,src=0}") in names
+        assert ("counter", "msg_bytes{dest=0,src=1}") in names
+        assert ("gauge", "q{stage=a,b}") in names
+        assert ("histogram", 'lat{link=0"1}') in names
+        by_name = {r[1]: r[3] for r in rows[1:] if r[0] == "counter"}
+        assert by_name["msg_bytes{dest=1,src=0}"] == "64"
+
+    def test_scheduler_per_pair_counters_survive_csv(self):
+        """End to end: the real per-channel scheduler counters."""
+        import csv
+        import io
+
+        from repro.parallel import Scheduler
+
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.send(1, "t", b"xyz")
+                return None
+            return (yield comm.recv(0, "t"))
+
+        sched = Scheduler(2)
+        sched.run(program)
+        rows = list(csv.reader(io.StringIO(sched.metrics.to_csv())))
+        assert all(len(r) == 4 for r in rows)
+        labelled = [r[1] for r in rows if "{" in r[1]]
+        assert any("src=0" in n and "dest=1" in n for n in labelled)

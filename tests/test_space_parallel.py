@@ -1,0 +1,224 @@
+"""Tests for the space-parallel tree evaluator and the P_T x P_S grid."""
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import Tracer
+from repro.parallel import Scheduler
+from repro.pfasst.controller import PfasstConfig, run_pfasst
+from repro.pfasst.level import LevelSpec
+from repro.tree.evaluator import TreeEvaluator
+from repro.tree.parallel import (
+    SpaceConsistencyError,
+    SpaceParallelTreeEvaluator,
+    assemble_root,
+    branch_payload,
+    compute_shard,
+)
+from repro.vortex.particles import pack_state
+from repro.vortex.problem import VortexProblem
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(42)
+    n = 400
+    positions = rng.uniform(-1.0, 1.0, (n, 3))
+    charges = rng.normal(size=(n, 3)) * 0.1
+    return positions, charges
+
+
+def _parallel_field(evaluator, p_space, positions, charges):
+    def program(comm):
+        f = yield from evaluator.field_program(
+            comm, positions, charges, gradient=True
+        )
+        return f
+
+    sched = Scheduler(p_space)
+    return sched.run(program), sched
+
+
+class TestFieldEquivalence:
+    @pytest.mark.parametrize("theta", [0.3, 0.6])
+    @pytest.mark.parametrize("p_space", [2, 3])
+    def test_matches_serial_evaluator(self, cloud, theta, p_space):
+        positions, charges = cloud
+        serial = TreeEvaluator("algebraic2", sigma=0.05, theta=theta,
+                               leaf_size=16)
+        ref = serial.field(positions, charges, gradient=True)
+        par = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                         theta=theta, leaf_size=16)
+        fields, _ = _parallel_field(par, p_space, positions, charges)
+        for f in fields:
+            np.testing.assert_allclose(
+                f.velocity, ref.velocity, rtol=1e-12, atol=1e-15
+            )
+            np.testing.assert_allclose(
+                f.gradient, ref.gradient, rtol=1e-12, atol=1e-15
+            )
+
+    def test_size_one_comm_bitwise_matches_serial(self, cloud):
+        positions, charges = cloud
+        par = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                         theta=0.4, leaf_size=16)
+        ref = par.field(positions, charges, gradient=True)
+        fields, _ = _parallel_field(par, 1, positions, charges)
+        np.testing.assert_array_equal(fields[0].velocity, ref.velocity)
+        np.testing.assert_array_equal(fields[0].gradient, ref.gradient)
+
+    def test_branch_byte_counters_recorded(self, cloud):
+        positions, charges = cloud
+        par = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                         theta=0.4, leaf_size=16)
+        _, sched = _parallel_field(par, 3, positions, charges)
+        counters = sched.metrics.as_dict()["counters"]
+        per_rank = [counters[f"space.branch_bytes{{rank={r}}}"]
+                    for r in range(3)]
+        assert all(v > 0 for v in per_rank)
+        assert counters["space.branch_bytes"] == sum(per_rank)
+        assert all(counters[f"space.branch_cells{{rank={r}}}"] > 0
+                   for r in range(3))
+        assert all(counters[f"space.rhs_bytes{{rank={r}}}"] > 0
+                   for r in range(3))
+
+    def test_coarsened_shares_cache_and_matches(self, cloud):
+        positions, charges = cloud
+        fine = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                          theta=0.3, leaf_size=16)
+        coarse = fine.coarsened(0.6)
+        assert isinstance(coarse, SpaceParallelTreeEvaluator)
+        assert coarse.cache is fine.cache
+        ref = TreeEvaluator("algebraic2", sigma=0.05, theta=0.6,
+                            leaf_size=16).field(positions, charges)
+        fields, _ = _parallel_field(coarse, 2, positions, charges)
+        np.testing.assert_allclose(
+            fields[0].velocity, ref.velocity, rtol=1e-12, atol=1e-15
+        )
+
+
+class TestShardAndBranches:
+    def test_shard_segments_partition_particles(self, cloud):
+        positions, charges = cloud
+        ev = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                        leaf_size=16)
+        state, _ = ev.cache.state(positions, ev.leaf_size, ev.phases)
+        for p in (2, 3, 5):
+            shard = compute_shard(state, p)
+            assert shard.bounds[0] == 0
+            assert shard.bounds[-1] == positions.shape[0]
+            assert np.all(np.diff(shard.bounds) > 0)
+            # leaf-aligned: every boundary is some group's slot start
+            starts = set(state.tree.node_start[state.groups].tolist())
+            for b in shard.bounds[1:-1]:
+                assert int(b) in starts
+            # group masks partition the groups
+            total = sum(shard.group_mask(r, len(state.groups)).sum()
+                        for r in range(p))
+            assert total == len(state.groups)
+
+    def test_shard_cached_per_state(self, cloud):
+        positions, _ = cloud
+        ev = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                        leaf_size=16)
+        state, _ = ev.cache.state(positions, ev.leaf_size, ev.phases)
+        assert compute_shard(state, 2) is compute_shard(state, 2)
+
+    def test_too_many_ranks_raises(self, cloud):
+        positions, _ = cloud
+        ev = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                        leaf_size=16)
+        state, _ = ev.cache.state(positions, ev.leaf_size, ev.phases)
+        with pytest.raises(ValueError, match="leaf groups"):
+            compute_shard(state, 10_000)
+
+    def test_exchanged_branches_rebuild_root_moments(self, cloud):
+        positions, charges = cloud
+        ev = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                        leaf_size=16)
+        state, _ = ev.cache.state(positions, ev.leaf_size, ev.phases)
+        moments, _ = state.vortex_moments(charges, ev.phases)
+        tree = state.tree
+        p = 4
+        shard = compute_shard(state, p)
+        charges_sorted = charges[tree.order]
+        branches = [branch_payload(tree, shard, charges_sorted, r)
+                    for r in range(p)]
+        count, m0, m1, m2 = assemble_root(tree, branches)
+        assert count == tree.n_particles
+        np.testing.assert_allclose(m0, moments.m0[0], rtol=1e-9, atol=1e-13)
+        np.testing.assert_allclose(m1, moments.m1[0], rtol=1e-9, atol=1e-13)
+        np.testing.assert_allclose(m2, moments.m2[0], rtol=1e-9, atol=1e-13)
+
+    def test_tampered_branch_fails_verification(self, cloud):
+        """A corrupted exchange must be caught, not silently accepted."""
+        positions, charges = cloud
+        ev = SpaceParallelTreeEvaluator("algebraic2", sigma=0.05,
+                                        leaf_size=16)
+
+        def program(comm):
+            if comm.rank == 1:
+                charges_bad = charges * 1.5  # inconsistent source data
+                f = yield from ev.field_program(comm, positions, charges_bad)
+            else:
+                f = yield from ev.field_program(comm, positions, charges)
+            return f
+
+        with pytest.raises(SpaceConsistencyError):
+            Scheduler(2).run(program)
+
+
+def _vortex_setup(n=120, seed=3):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-1.0, 1.0, (n, 3))
+    vorticity = rng.normal(size=(n, 3)) * 0.2
+    volumes = np.full(n, 1.0 / n)
+    return pack_state(positions, vorticity), volumes
+
+
+def _specs(volumes):
+    ev = SpaceParallelTreeEvaluator("algebraic2", sigma=0.1, theta=0.3,
+                                    leaf_size=16)
+    fine = VortexProblem(volumes, ev)
+    coarse = fine.coarsened(0.6)
+    return [LevelSpec(fine, 3, sweeps=1), LevelSpec(coarse, 2, sweeps=1)]
+
+
+class TestGridPfasst:
+    def test_grid_run_matches_time_only_run(self):
+        u0, volumes = _vortex_setup()
+        cfg = PfasstConfig(t0=0.0, t_end=0.05, n_steps=2, iterations=3)
+        ref = run_pfasst(cfg, _specs(volumes), u0, p_time=2, p_space=1)
+        res = run_pfasst(cfg, _specs(volumes), u0, p_time=2, p_space=2)
+        np.testing.assert_allclose(res.u_end, ref.u_end, rtol=1e-12)
+        assert res.residuals == ref.residuals
+        assert len(res.slice_end_values) == 2  # one per *time* rank
+        assert len(res.clocks) == 4  # one per world rank
+
+    def test_grid_trace_has_space_spans_and_counters(self):
+        u0, volumes = _vortex_setup()
+        cfg = PfasstConfig(t0=0.0, t_end=0.05, n_steps=2, iterations=2,
+                           trace=True)
+        tracer = Tracer()
+        res = run_pfasst(cfg, _specs(volumes), u0, p_time=2, p_space=2,
+                         tracer=tracer)
+        names = {s.name for s in tracer.spans}
+        assert "space:branch-exchange" in names
+        assert "space:compute" in names
+        assert "space:rhs-allgather" in names
+        # per-space-rank spans live on each world rank's track
+        tracks = {s.track for s in tracer.spans
+                  if s.name == "space:branch-exchange"}
+        assert tracks == {f"rank{r}" for r in range(4)}
+        assert any("branch_bytes{" in k
+                   for k in res.metrics["counters"])
+
+    def test_grid_rejects_fault_plans(self):
+        from repro.parallel import FaultPlan, RankCrash
+
+        u0, volumes = _vortex_setup()
+        cfg = PfasstConfig(t0=0.0, t_end=0.05, n_steps=2, iterations=2)
+        plan = FaultPlan(crashes=(RankCrash(rank=0, after_ops=5),))
+        with pytest.raises(ValueError, match="p_space"):
+            run_pfasst(cfg, _specs(volumes), u0, p_time=2, p_space=2,
+                       fault_plan=plan)

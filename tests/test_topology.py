@@ -59,3 +59,26 @@ class TestGrid:
     def test_invalid_extents(self):
         with pytest.raises(ValueError, match=">= 1"):
             SpaceTimeGrid(0, 4)
+
+    @pytest.mark.parametrize("p_time,p_space", [(1, 6), (6, 1), (2, 7), (7, 2), (3, 4)])
+    def test_non_square_roundtrips(self, p_time, p_space):
+        """coords/world_rank are inverse bijections on non-square grids."""
+        grid = SpaceTimeGrid(p_time, p_space)
+        seen = set()
+        for t in range(p_time):
+            for s in range(p_space):
+                r = grid.world_rank(t, s)
+                assert grid.coords(r) == (t, s)
+                seen.add(r)
+        assert seen == set(range(grid.world_size))
+
+    @pytest.mark.parametrize("p_time,p_space", [(1, 5), (5, 1), (2, 3)])
+    def test_non_square_comm_membership(self, p_time, p_space):
+        grid = SpaceTimeGrid(p_time, p_space)
+        for r in range(grid.world_size):
+            t, s = grid.coords(r)
+            space = grid.space_comm(r)
+            tcomm = grid.time_comm(r)
+            assert len(space) == p_space and len(tcomm) == p_time
+            assert space.index(r) == s  # position == space coordinate
+            assert tcomm.index(r) == t  # position == time coordinate
