@@ -1,7 +1,7 @@
 """repro-lint — project-specific AST static analysis.
 
 The generic linters (flake8, ruff) cannot know which invariants this
-repository's results hang on; ``repro-lint`` encodes them as five rules:
+repository's results hang on; ``repro-lint`` encodes them as six rules:
 
 RPR001
     Unseeded / legacy RNG: the module-level ``np.random.*`` API draws
@@ -33,6 +33,15 @@ RPR005
     asserts, so shape/invariant checks vanish exactly in optimised
     production runs.  Use :func:`repro.utils.validation.check_array` or
     an explicit ``raise``.
+RPR006
+    Unpicklable compute-task descriptors: a
+    ``repro.parallel.executor.ComputeTask`` must survive a process
+    boundary, so its ``method`` must be a *string literal* naming a
+    regular method on the registered payload, and no argument may be a
+    ``lambda`` (closures capture frame state that cannot be pickled —
+    the failure would only surface at runtime, under the process
+    backend, as a :class:`~repro.parallel.executor.PayloadPicklingError`
+    or worse).  Pass plain scalars/arrays and name methods statically.
 
 Any violation can be suppressed for one line with a justified trailing
 comment::
@@ -76,6 +85,7 @@ RULES: Dict[str, str] = {
     "RPR003": "Python-level loop over a per-particle/per-pair axis in a hot module",
     "RPR004": "dtype drift in a hot module (allocation without dtype=, float32)",
     "RPR005": "assert-based check in library code (stripped under -O)",
+    "RPR006": "unpicklable ComputeTask (lambda argument or non-literal method)",
 }
 
 #: modules whose inner loops must stay vectorised (RPR003/RPR004 scope),
@@ -92,6 +102,7 @@ HOT_MODULES: Tuple[str, ...] = (
 #: route timing through them
 WALLCLOCK_ALLOWED: Tuple[str, ...] = (
     "parallel/simmpi.py",
+    "parallel/executor.py",
     "utils/timing.py",
     "obs/timing.py",
     "obs/tracer.py",
@@ -205,6 +216,7 @@ class _Linter(ast.NodeVisitor):
             self._check_rng(node, name)
             self._check_wallclock(node, name)
             self._check_set_reduction(node, name)
+            self._check_compute_task(node, name)
             if self.is_hot:
                 self._check_allocation(node, name)
         self.generic_visit(node)
@@ -260,6 +272,36 @@ class _Linter(ast.NodeVisitor):
                     f"order-dependent reduction {name}() over a set; "
                     "normalise with sorted(...) first",
                 )
+
+    def _check_compute_task(self, node: ast.Call, name: str) -> None:
+        # RPR006: ComputeTask descriptors must cross a process boundary
+        if name.split(".")[-1] != "ComputeTask":
+            return
+        method_expr: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            method_expr = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "method":
+                method_expr = kw.value
+        if method_expr is not None and not (
+            isinstance(method_expr, ast.Constant)
+            and isinstance(method_expr.value, str)
+        ):
+            self._flag(
+                node, "RPR006",
+                "ComputeTask method must be a string literal naming a "
+                "method on the registered payload; computed or callable "
+                "methods cannot cross the process-backend boundary",
+            )
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    self._flag(
+                        sub, "RPR006",
+                        "lambda inside a ComputeTask cannot be pickled for "
+                        "the process execution backend; pass plain data and "
+                        "a string method name instead",
+                    )
 
     def _check_allocation(self, node: ast.Call, name: str) -> None:
         parts = name.split(".")
@@ -419,7 +461,7 @@ def lint_paths(paths: Iterable[str]) -> List[Violation]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="project-specific reproducibility linter (RPR001-RPR005)",
+        description="project-specific reproducibility linter (RPR001-RPR006)",
     )
     parser.add_argument("paths", nargs="*", default=["src/"],
                         help="files or directories to lint (default: src/)")

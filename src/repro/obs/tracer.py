@@ -117,6 +117,10 @@ class NullTracer:
               cat: str = "", args: Optional[Dict[str, Any]] = None) -> None:
         return None
 
+    def wspan(self, name: str, t0: float, t1: float, *, track: str = "main",
+              cat: str = "", args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
     def instant(self, name: str, t: Optional[float] = None, *,
                 track: str = "main", clock: str = "virtual", cat: str = "",
                 args: Optional[Dict[str, Any]] = None) -> None:
@@ -193,6 +197,21 @@ class Tracer:
         """Record a closed virtual-time span ``[t0, t1]``."""
         self.spans.append(
             Span(name=name, track=track, t0=t0, t1=t1, clock="virtual",
+                 cat=cat, args=args)
+        )
+
+    def wspan(self, name: str, t0: float, t1: float, *, track: str = "main",
+              cat: str = "", args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a closed *wall-clock* span measured elsewhere.
+
+        The executor's worker processes time their tasks with their own
+        ``perf_counter`` (CLOCK_MONOTONIC is system-wide on Linux, so
+        the endpoints are directly comparable across processes) and the
+        scheduler records them post hoc — one ``worker<i>`` track per
+        pool worker, genuinely overlapping under real parallelism.
+        """
+        self.spans.append(
+            Span(name=name, track=track, t0=t0, t1=t1, clock="wall",
                  cat=cat, args=args)
         )
 

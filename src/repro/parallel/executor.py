@@ -1,0 +1,552 @@
+"""Pluggable execution backends for the simulated-MPI scheduler.
+
+The discrete-event scheduler (:mod:`repro.parallel.simmpi`) owns virtual
+time, message ordering, fault injection and the ``verify=True`` replay
+contract — none of that moves here.  What an execution backend owns is
+the *compute payload between yields*: a rank program may yield a
+:class:`Compute` operation wrapping a :class:`ComputeTask` (a picklable
+descriptor "call ``method`` on registered payload ``key`` with these
+arguments"), and the backend decides where that call runs:
+
+* :class:`SerialExecutor` — runs the task inline, in-process, at the
+  yield point.  Results, virtual clocks and op streams are byte-identical
+  to a scheduler without any executor attached (the byte-identity suite
+  in ``tests/test_executor.py`` pins this).
+* :class:`ProcessExecutor` — runs tasks on a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  The scheduler defers
+  every ``Compute``-blocked rank until no further event-loop progress is
+  possible, then flushes the accumulated *batch* through
+  :meth:`ProcessExecutor.dispatch` — concurrently runnable work
+  (independent RHS evaluations across time ranks, per-row space segments)
+  lands on real cores in one barrier round.  Input arrays travel through
+  :mod:`multiprocessing.shared_memory` blocks (created per dispatch,
+  unlinked immediately after the barrier); results return pickled.
+
+Payload objects (problems with their evaluators and tree-state caches)
+are registered up front under stable string keys and shipped to the
+workers **once**, at pool start-up, via the pool initializer — per-task
+traffic is only the state array, the small ``args``/``tail`` scalars and
+the result.  Workers keep their (forked/unpickled) payload copies alive
+across tasks, so tree-state caches warm up per worker exactly as the
+in-process evaluator's cache does.
+
+Every task runs under a fresh per-task :class:`MetricsRegistry`
+(installed via ``use_metrics``), and the deltas are bucketed per worker
+id.  The scheduler folds the buckets into its own registry at the end of
+the run, **sorted by worker id**, so merged counter totals are
+deterministic and — for everything except cache hit/miss splits, which
+depend on task placement — exactly equal between backends.
+
+Process-safety of the task descriptors is enforced statically by
+``repro-lint`` rule RPR006 (no lambdas inside ``ComputeTask(...)``
+construction, ``method`` must be a string literal) and dynamically by
+:class:`PayloadPicklingError` at registration/dispatch time.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, use_metrics
+
+__all__ = [
+    "ComputeTask",
+    "Compute",
+    "DispatchResult",
+    "DispatchContext",
+    "PayloadPicklingError",
+    "ExecutionBackend",
+    "SerialExecutor",
+    "ProcessExecutor",
+]
+
+
+class PayloadPicklingError(TypeError):
+    """A payload required by a process backend cannot be pickled.
+
+    Raised instead of the advisory ``UserWarning`` fallback of
+    :func:`repro.parallel.simmpi.payload_bytes`: under a
+    :class:`ProcessExecutor` an unpicklable message payload or compute
+    argument is not a cost-model inaccuracy but a correctness bug — the
+    silent 64-byte guess would let the program run on data that can never
+    cross a process boundary and deadlock (or crash) the dispatch
+    barrier.  The error names the offending rank/tag (message path) or
+    payload key/method (compute path).
+    """
+
+    def __init__(
+        self,
+        type_name: str,
+        *,
+        rank: Optional[int] = None,
+        dest: Optional[int] = None,
+        tag: Optional[Hashable] = None,
+        payload_key: Optional[str] = None,
+        method: Optional[str] = None,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        self.type_name = type_name
+        self.rank = rank
+        self.dest = dest
+        self.tag = tag
+        self.payload_key = payload_key
+        self.method = method
+        where = []
+        if rank is not None:
+            where.append(f"rank {rank}")
+        if dest is not None:
+            where.append(f"dest {dest}")
+        if tag is not None:
+            where.append(f"tag {tag!r}")
+        if payload_key is not None:
+            where.append(f"payload {payload_key!r}")
+        if method is not None:
+            where.append(f"method {method!r}")
+        ctx = " (" + ", ".join(where) + ")" if where else ""
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"object of type {type_name!r} cannot be pickled for the "
+            f"process execution backend{ctx}{detail}"
+        )
+
+
+@dataclass(frozen=True)
+class ComputeTask:
+    """Picklable description of one dispatchable compute call.
+
+    The backend resolves ``payload`` against its registry and invokes::
+
+        getattr(registry[payload], method)(*args, *arrays, *tail)
+
+    ``arrays`` carries the large ndarray inputs (particle states,
+    positions/charges) — a process backend moves them through shared
+    memory; ``args``/``tail`` are small picklable scalars placed before
+    and after the arrays in the call.  ``method`` must be a *string
+    literal* naming a regular method on the registered object: lambdas
+    and closures cannot cross a process boundary (``repro-lint`` RPR006).
+    """
+
+    payload: str
+    method: str
+    args: Tuple[Any, ...] = ()
+    arrays: Tuple[np.ndarray, ...] = ()
+    tail: Tuple[Any, ...] = ()
+
+    def invoke(self, obj: Any) -> Any:
+        return getattr(obj, self.method)(*self.args, *self.arrays, *self.tail)
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Scheduler operation: run ``task`` on the attached execution backend.
+
+    Yielded by rank programs (via the dispatch seam in
+    :func:`repro.sdc.sweeper.evaluate_rhs` /
+    ``SpaceParallelTreeEvaluator.field_program``); the value sent back
+    into the generator is the task's return value.  Requires a scheduler
+    constructed with ``executor=...``.
+    """
+
+    task: ComputeTask
+
+
+@dataclass
+class DispatchResult:
+    """Outcome of one executed :class:`ComputeTask`."""
+
+    value: Any = None
+    #: exception raised by the task body (re-thrown into the rank program)
+    error: Optional[BaseException] = None
+    #: dense worker id that ran the task (0 for the serial backend)
+    worker: int = 0
+    #: wall-clock seconds spent inside the task body
+    elapsed: float = 0.0
+    #: perf_counter endpoints in the *executing* process (CLOCK_MONOTONIC
+    #: is system-wide on Linux, so worker spans overlay on one timeline)
+    wall_t0: float = 0.0
+    wall_t1: float = 0.0
+    #: shared-memory bytes staged for this task's input arrays
+    shm_bytes: int = 0
+    #: ``MetricsRegistry.as_dict()`` snapshot recorded inside the task
+    metrics: Optional[Dict[str, Any]] = None
+
+
+class DispatchContext:
+    """Maps live payload objects to their registered backend keys.
+
+    Threaded through the PFASST controller and sweeper so that RHS call
+    sites can turn ``problem.rhs(t, u)`` into a :class:`ComputeTask`
+    referencing the problem's registered key.  Objects are matched by
+    identity; an unregistered object simply evaluates inline.
+    """
+
+    def __init__(self, executor: "ExecutionBackend") -> None:
+        self.executor = executor
+        self._keys: Dict[int, str] = {}
+
+    def register(self, key: str, obj: Any) -> None:
+        self.executor.register(key, obj)
+        self._keys[id(obj)] = key
+
+    def key_of(self, obj: Any) -> Optional[str]:
+        return self._keys.get(id(obj))
+
+
+class ExecutionBackend:
+    """Common payload registry + worker-metrics bookkeeping.
+
+    Subclasses set :attr:`inline` (execute at the yield point vs queue
+    for a batched :meth:`dispatch`) and :attr:`requires_pickling` (the
+    scheduler then escalates unpicklable *message* payloads to
+    :class:`PayloadPicklingError` instead of the advisory warning).
+    """
+
+    name = "base"
+    #: True: the scheduler calls :meth:`execute` at the Compute op and
+    #: feeds the value straight back — no barrier phase is entered
+    inline = True
+    #: True: payloads must survive a process boundary
+    requires_pickling = False
+
+    def __init__(self) -> None:
+        self._payloads: Dict[str, Any] = {}
+        self._started = False
+        #: worker id -> merged per-task metrics deltas for the active run
+        self._buckets: Dict[int, MetricsRegistry] = {}
+
+    # -- payload registry ----------------------------------------------
+    def register(self, key: str, obj: Any) -> None:
+        """Register ``obj`` under ``key`` (idempotent for the same object)."""
+        existing = self._payloads.get(key)
+        if existing is obj:
+            return
+        if existing is not None:
+            raise ValueError(
+                f"payload key {key!r} is already registered to a different "
+                "object; use one executor per payload set"
+            )
+        if self._started:
+            raise RuntimeError(
+                f"cannot register payload {key!r}: the worker pool has "
+                "already started (payloads ship once, at start-up)"
+            )
+        self._payloads[key] = obj
+
+    def _resolve(self, task: ComputeTask) -> Any:
+        try:
+            return self._payloads[task.payload]
+        except KeyError:
+            raise KeyError(
+                f"compute task references unregistered payload "
+                f"{task.payload!r} (registered: {sorted(self._payloads)})"
+            ) from None
+
+    # -- execution ------------------------------------------------------
+    def execute(self, task: ComputeTask) -> DispatchResult:
+        raise NotImplementedError
+
+    def dispatch(self, batch: List[ComputeTask]) -> List[DispatchResult]:
+        """Run a batch; default is sequential :meth:`execute`."""
+        return [self.execute(task) for task in batch]
+
+    # -- scheduler integration -----------------------------------------
+    def serial_clone(self) -> "SerialExecutor":
+        """In-process twin sharing this backend's payload registry.
+
+        The scheduler's ``verify=True`` replay runs on the clone: replay
+        correctness is about op-stream determinism, not wall-clock, and
+        an inline second pass sidesteps pool lifetime entanglement.
+        """
+        return SerialExecutor(_payloads=self._payloads)
+
+    def reset_run(self) -> None:
+        """Drop per-run worker-metric buckets (scheduler run prologue)."""
+        self._buckets = {}
+
+    def _bucket(self, result: DispatchResult) -> None:
+        if result.metrics is None:
+            return
+        bucket = self._buckets.get(result.worker)
+        if bucket is None:
+            bucket = self._buckets[result.worker] = MetricsRegistry()
+        bucket.merge(result.metrics)
+
+    def collect_into(self, registry: MetricsRegistry) -> None:
+        """Fold worker metric deltas into ``registry``, sorted by worker
+        id — the deterministic merge order of the executor contract."""
+        for worker in sorted(self._buckets):
+            registry.merge(self._buckets[worker])
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-process backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+
+def _run_task(obj: Any, task: ComputeTask) -> DispatchResult:
+    """Execute one task in this process under a fresh metrics registry."""
+    registry = MetricsRegistry()
+    value: Any = None
+    error: Optional[BaseException] = None
+    t0 = time.perf_counter()
+    try:
+        with use_metrics(registry):
+            value = task.invoke(obj)
+    except Exception as exc:  # re-thrown into the rank program
+        error = exc
+    t1 = time.perf_counter()
+    return DispatchResult(
+        value=value, error=error, worker=0, elapsed=t1 - t0,
+        wall_t0=t0, wall_t1=t1, shm_bytes=0, metrics=registry.as_dict(),
+    )
+
+
+class SerialExecutor(ExecutionBackend):
+    """Reference backend: every task runs inline at the yield point.
+
+    The scheduler's behaviour with a ``SerialExecutor`` attached is
+    byte-identical (results *and* virtual clocks) to the same run with
+    dispatch disabled entirely — the compute simply happens in
+    :meth:`execute` instead of inside the generator frame.  It also
+    defines the metrics contract the process backend must reproduce.
+    """
+
+    name = "serial"
+    inline = True
+    requires_pickling = False
+
+    def __init__(self, _payloads: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__()
+        if _payloads is not None:
+            self._payloads = _payloads
+
+    def execute(self, task: ComputeTask) -> DispatchResult:
+        result = _run_task(self._resolve(task), task)
+        self._bucket(result)
+        return result
+
+
+# -- worker-process side of ProcessExecutor ---------------------------------
+_WORKER_PAYLOADS: Dict[str, Any] = {}
+_WORKER_ID: int = 0
+
+
+def _worker_init(payload_blob: bytes, id_counter: Any) -> None:
+    """Pool initializer: unpack payloads once, claim a dense worker id."""
+    global _WORKER_ID
+    with id_counter.get_lock():
+        _WORKER_ID = id_counter.value
+        id_counter.value += 1
+    _WORKER_PAYLOADS.update(pickle.loads(payload_blob))
+
+
+def _attach_shm(name: str):
+    """Attach a shared-memory block without adopting its lifetime.
+
+    The *scheduler* process owns creation and unlinking (the block is
+    gone right after the dispatch barrier); the worker only maps and
+    closes.  Pool workers share the scheduler's resource-tracker process
+    (both fork and spawn hand the tracker fd to children), so the
+    worker-side attach merely re-adds the already-tracked name to the
+    tracker's set — a no-op — and the single unregister happens inside
+    the scheduler-side ``unlink()``.  Nothing to compensate for here;
+    explicitly unregistering in the worker would *remove* the shared
+    entry and make the later unlink trip a tracker KeyError.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_exec(
+    payload_key: str,
+    method: str,
+    args: Tuple[Any, ...],
+    tail: Tuple[Any, ...],
+    shm_specs: List[Tuple[str, Tuple[int, ...], str]],
+) -> Tuple[int, float, float, float, Any, Optional[BaseException], Dict[str, Any]]:
+    """Run one task against shared-memory array views; return the outcome.
+
+    The views are mapped read-only: task methods receive *inputs* through
+    shared memory and must allocate their own outputs (which return
+    pickled) — the explicit buffer-handoff contract of
+    :mod:`repro.tree.engine`.
+    """
+    registry = MetricsRegistry()
+    blocks = []
+    value: Any = None
+    error: Optional[BaseException] = None
+    t0 = time.perf_counter()
+    try:
+        arrays = []
+        for name, shape, dtype in shm_specs:
+            shm = _attach_shm(name)
+            blocks.append(shm)
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+            view.flags.writeable = False
+            arrays.append(view)
+        obj = _WORKER_PAYLOADS[payload_key]
+        task = ComputeTask(payload_key, method, args, tuple(arrays), tail)  # repro-lint: disable=RPR006 -- worker-side reconstruction, already across the boundary
+        with use_metrics(registry):
+            value = task.invoke(obj)
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+            error = exc
+        except Exception:
+            error = RuntimeError(
+                f"compute task {payload_key}.{method} failed with an "
+                f"unpicklable exception: {exc!r}"
+            )
+        value = None
+    finally:
+        del arrays  # drop shm views before closing the blocks
+        for shm in blocks:
+            shm.close()
+    elapsed = time.perf_counter() - t0
+    return (_WORKER_ID, t0, t0 + elapsed, elapsed, value, error,
+            registry.as_dict())
+
+
+class ProcessExecutor(ExecutionBackend):
+    """Real-core backend over a :class:`ProcessPoolExecutor`.
+
+    Payloads are pickled once into the pool initializer.  Per task,
+    :meth:`dispatch` stages the input arrays into per-task
+    ``multiprocessing.shared_memory`` blocks, submits the worker calls,
+    waits for the whole batch (the scheduler's barrier), writes results
+    back and unlinks the blocks.  Workers claim dense ids 0..W-1 from a
+    shared counter; their per-task metric deltas are bucketed by id for
+    the deterministic end-of-run merge.
+
+    ``max_workers`` bounds genuine concurrency; ``max_workers=1`` is the
+    degenerate (still multi-process) case the test suite pins.  The pool
+    starts lazily on first dispatch so payload registration stays open
+    until the scheduler actually runs.
+    """
+
+    name = "process"
+    inline = False
+    requires_pickling = True
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle -------------------------------------------------
+    def start(self) -> None:
+        """Pickle the payload registry and spin up the worker pool."""
+        if self._pool is not None:
+            return
+        import multiprocessing
+
+        for key, obj in self._payloads.items():
+            try:
+                pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise PayloadPicklingError(
+                    type(obj).__name__, payload_key=key, cause=exc
+                ) from exc
+        blob = pickle.dumps(self._payloads, protocol=pickle.HIGHEST_PROTOCOL)
+        ctx = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else multiprocessing.get_context()
+        )
+        counter = ctx.Value("i", 0)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(blob, counter),
+        )
+        self._started = True
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- execution ------------------------------------------------------
+    def execute(self, task: ComputeTask) -> DispatchResult:
+        return self.dispatch([task])[0]
+
+    def dispatch(self, batch: List[ComputeTask]) -> List[DispatchResult]:
+        from multiprocessing import shared_memory
+
+        self.start()
+        pool = self._pool
+        futures = []
+        all_blocks: List[Any] = []
+        shm_per_task: List[int] = []
+        try:
+            for task in batch:
+                try:
+                    pickle.dumps((task.args, task.tail),
+                                 protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception as exc:
+                    bad = "task arguments"
+                    for item in (*task.args, *task.tail):
+                        try:
+                            pickle.dumps(
+                                item, protocol=pickle.HIGHEST_PROTOCOL
+                            )
+                        except Exception:
+                            bad = type(item).__name__
+                            break
+                    raise PayloadPicklingError(
+                        bad,
+                        payload_key=task.payload, method=task.method,
+                        cause=exc,
+                    ) from exc
+                specs = []
+                nbytes = 0
+                for arr in task.arrays:
+                    a = np.ascontiguousarray(arr)
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=max(1, a.nbytes)
+                    )
+                    all_blocks.append(shm)
+                    np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf)[...] = a
+                    specs.append((shm.name, a.shape, a.dtype.str))
+                    nbytes += int(a.nbytes)
+                shm_per_task.append(nbytes)
+                futures.append(pool.submit(
+                    _worker_exec, task.payload, task.method,
+                    task.args, task.tail, specs,
+                ))
+            # barrier: collect in submission order
+            results = []
+            for fut, nbytes in zip(futures, shm_per_task):
+                wid, t0, t1, elapsed, value, error, metrics = fut.result()
+                results.append(DispatchResult(
+                    value=value, error=error, worker=wid, elapsed=elapsed,
+                    wall_t0=t0, wall_t1=t1, shm_bytes=nbytes,
+                    metrics=metrics,
+                ))
+        finally:
+            for shm in all_blocks:
+                shm.close()
+                shm.unlink()
+        for result in results:
+            self._bucket(result)
+        return results

@@ -24,6 +24,13 @@ under failure, reproducibly:
 
 With no plan installed the scheduler's fault hooks are never entered and
 the run is byte-identical to the fault-free scheduler.
+
+Because every injection decision is a pure hash of message/op *identity*
+(never of wall-clock or scheduler state), fault plans are also
+independent of the execution backend (:mod:`repro.parallel.executor`):
+the same plan injects the same faults at the same virtual times whether
+compute payloads run inline or on a process pool — the executor
+byte-identity suite pins a faulty recovered run across backends.
 """
 
 from __future__ import annotations

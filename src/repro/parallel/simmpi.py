@@ -61,6 +61,13 @@ import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.parallel.executor import (
+    Compute,
+    ComputeTask,
+    DispatchResult,
+    ExecutionBackend,
+    PayloadPicklingError,
+)
 from repro.parallel.faults import (
     CorruptionError,
     FaultEvent,
@@ -128,8 +135,16 @@ class CommCostModel:
         return self.latency + nbytes / self.bandwidth
 
 
-def payload_bytes(payload: Any) -> int:
-    """Estimate the on-wire size of a message payload."""
+def payload_bytes(payload: Any, strict: bool = False) -> int:
+    """Estimate the on-wire size of a message payload.
+
+    With ``strict=True`` (the scheduler sets it when a process execution
+    backend is attached) an unpicklable payload raises
+    :class:`~repro.parallel.executor.PayloadPicklingError` instead of
+    falling back to the advisory 64-byte guess — under real multi-process
+    execution such a payload is a correctness bug, not a cost-model
+    inaccuracy.
+    """
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if isinstance(payload, (bytes, bytearray)):
@@ -140,7 +155,11 @@ def payload_bytes(payload: Any) -> int:
         return 8
     try:
         return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
+    except Exception as exc:
+        if strict:
+            raise PayloadPicklingError(
+                type(payload).__name__, cause=exc
+            ) from exc
         warnings.warn(
             f"payload of type {type(payload).__name__!r} is unpicklable; "
             "assuming 64 bytes on the wire — communication cost-model "
@@ -410,6 +429,10 @@ class _RankState:
     send_value: Any = None  # value fed into the generator on next resume
     recv_op: Optional[Recv] = None  # full op while blocked (timeout/retries)
     retries_left: int = 0
+    #: task awaiting the next dispatch barrier (non-inline executor)
+    compute_pending: Optional[ComputeTask] = None
+    #: exception from a dispatched task, thrown into the generator on resume
+    pending_throw: Optional[BaseException] = None
 
 
 class Scheduler:
@@ -463,6 +486,26 @@ class Scheduler:
         — one Perfetto thread per rank after export.  The default is
         the zero-cost no-op tracer; virtual clocks and results are
         identical either way.
+    executor :
+        Optional :class:`repro.parallel.executor.ExecutionBackend`
+        handling :class:`~repro.parallel.executor.Compute` operations.
+        An *inline* backend (:class:`~repro.parallel.executor.
+        SerialExecutor`) runs each task at the yield point — results and
+        virtual clocks are byte-identical to ``executor=None`` runs of a
+        program that never yields ``Compute``.  A non-inline backend
+        (:class:`~repro.parallel.executor.ProcessExecutor`) makes the
+        service loop a ``ready-set -> dispatch -> barrier`` pipeline:
+        ``Compute``-blocked ranks accumulate while the event loop drains
+        every other runnable rank, and when no further progress is
+        possible the whole batch is dispatched to worker processes at
+        once.  Results and (with ``measure_compute=False``) virtual
+        clocks remain byte-identical between backends; worker metric
+        deltas are merged into :attr:`metrics` sorted by worker id at
+        the end of the run, alongside ``executor.dispatches`` /
+        ``executor.shm_bytes`` / ``executor.batch_width`` instruments.
+        With a backend that ``requires_pickling``, unpicklable *message*
+        payloads raise :class:`~repro.parallel.executor.
+        PayloadPicklingError` instead of the advisory size warning.
 
     Attributes
     ----------
@@ -484,6 +527,7 @@ class Scheduler:
         warn_orphans: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
+        executor: Optional[ExecutionBackend] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
@@ -500,6 +544,10 @@ class Scheduler:
         self.warn_orphans = warn_orphans
         self.fault_plan = fault_plan
         self.tracer: Tracer | NullTracer = tracer or NULL_TRACER
+        self.executor = executor
+        self._strict_payloads = (
+            executor is not None and executor.requires_pickling
+        )
         self._reset_run_state()
 
     def _reset_run_state(self) -> None:
@@ -528,6 +576,10 @@ class Scheduler:
         self._shadow: Dict[Tuple[int, int, Hashable], deque] = defaultdict(
             deque
         )
+        #: (rank, task) pairs awaiting the next dispatch barrier
+        self._compute_queue: List[Tuple[int, ComputeTask]] = []
+        if self.executor is not None:
+            self.executor.reset_run()
         #: operations yielded per rank (crash triggers, diagnostics)
         self.op_counts: List[int] = [0] * self.n_ranks
         #: uncaught RankFailure per crashed rank
@@ -553,6 +605,9 @@ class Scheduler:
         """
         self._reset_run_state()
         results = self._run_pass(program, args)
+        if self.executor is not None:
+            # deterministic fold of per-worker compute metrics deltas
+            self.executor.collect_into(self.metrics)
         self._report_orphans()
         if self.tracer.enabled:
             self._trace_resilience()
@@ -581,16 +636,23 @@ class Scheduler:
             progressed = False
             for rank in sorted(pending, reverse=descending):
                 state = states[rank]
+                if state.compute_pending is not None:
+                    continue  # parked until the dispatch barrier
                 if state.blocked_on is not None:
                     if not self._try_unblock(rank, state):
                         continue
-                self._advance(rank, state)
+                throw, state.pending_throw = state.pending_throw, None
+                self._advance(rank, state, throw=throw)
                 progressed = True
                 if state.finished:
                     pending.discard(rank)
             if not progressed:
-                # before declaring deadlock, let a timed-out receive
-                # expire (retransmit or RecvTimeout) — lazy timeouts
+                # ready-set exhausted: flush the accumulated compute
+                # batch through the execution backend (barrier), then
+                # let a timed-out receive expire (retransmit or
+                # RecvTimeout) — lazy timeouts
+                if self._flush_compute(states):
+                    continue
                 if self._expire_one_timeout(states, pending):
                     continue
                 self._raise_deadlock(
@@ -672,6 +734,13 @@ class Scheduler:
             # the plan's pseudo-randomness is hash-derived from message
             # identity, so the replay sees identical injections
             fault_plan=self.fault_plan,
+            # replay determinism is about op streams, not wall-clock:
+            # dispatched tasks re-run inline on a serial twin sharing
+            # the payload registry
+            executor=(
+                self.executor.serial_clone()
+                if self.executor is not None else None
+            ),
         )
         replay_results = replay._run_pass(program, args)
         compare_replays(
@@ -930,11 +999,31 @@ class Scheduler:
             state.send_value = None
 
             self.op_counts[rank] += 1
+            if isinstance(op, Compute):
+                if self.executor is None:
+                    raise TypeError(
+                        f"rank {rank} yielded a Compute operation but the "
+                        "scheduler has no execution backend; construct "
+                        "Scheduler(..., executor=SerialExecutor()) or run "
+                        "without dispatch"
+                    )
+                if self.executor.inline:
+                    result = self.executor.execute(op.task)
+                    self._account_compute(rank, op.task, result)
+                    if result.error is not None:
+                        throw = result.error
+                        continue
+                    state.send_value = result.value
+                    continue
+                # non-inline: park the rank until the dispatch barrier
+                state.compute_pending = op.task
+                self._compute_queue.append((rank, op.task))
+                return
             if isinstance(op, Send):
                 if self._faults is not None:
                     self._faulty_send(rank, op)
                     continue
-                nbytes = payload_bytes(op.payload)
+                nbytes = self._message_bytes(rank, op)
                 self.clocks[rank] += self.cost_model.send_overhead
                 arrival = self.clocks[rank] + self.cost_model.transfer_time(nbytes)
                 self._channels[(rank, op.dest, op.tag)].append(
@@ -969,10 +1058,77 @@ class Scheduler:
                 f"rank {rank} yielded unsupported operation {op!r}"
             )
 
+    def _message_bytes(self, rank: int, op: Send) -> int:
+        """On-wire size of a send; strict under a process backend."""
+        if not self._strict_payloads:
+            return payload_bytes(op.payload)
+        try:
+            return payload_bytes(op.payload, strict=True)
+        except PayloadPicklingError as exc:
+            raise PayloadPicklingError(
+                exc.type_name, rank=rank, dest=op.dest, tag=op.tag,
+                cause=exc.__cause__,
+            ) from exc
+
+    def _flush_compute(self, states: List[_RankState]) -> bool:
+        """Dispatch the parked compute batch through the backend.
+
+        Called only when the ready set is empty, so the batch is the
+        *maximal* set of concurrently runnable tasks the event loop
+        could prove — the ``ready-set -> dispatch -> barrier`` phase.
+        Results are written back (values as resume arguments, errors as
+        injected exceptions) before any virtual clock advances past the
+        barrier.  Returns True when a batch ran.
+        """
+        if not self._compute_queue:
+            return False
+        batch, self._compute_queue = self._compute_queue, []
+        results = self.executor.dispatch([task for _, task in batch])
+        self.metrics.histogram("executor.batch_width").observe(len(batch))
+        for (rank, task), result in zip(batch, results):
+            state = states[rank]
+            state.compute_pending = None
+            self._account_compute(rank, task, result)
+            if result.error is not None:
+                state.pending_throw = result.error
+            else:
+                state.send_value = result.value
+        return True
+
+    def _account_compute(
+        self, rank: int, task: ComputeTask, result: DispatchResult
+    ) -> None:
+        """Clock charge, metrics and trace spans for one executed task."""
+        self.metrics.counter(
+            "executor.dispatches", backend=self.executor.name
+        ).inc()
+        self.metrics.counter(
+            "executor.dispatches", payload=task.payload, method=task.method
+        ).inc()
+        if result.shm_bytes:
+            self.metrics.counter("executor.shm_bytes").inc(result.shm_bytes)
+        if self.measure_compute and result.elapsed > 0:
+            t0 = self.clocks[rank]
+            self.clocks[rank] += result.elapsed * self.cost_model.compute_scale
+            if self.tracer.enabled:
+                self.tracer.vspan(
+                    "compute", t0, self.clocks[rank], track=f"rank{rank}",
+                    cat="compute",
+                    args={"payload": task.payload, "method": task.method},
+                )
+        if self.tracer.enabled:
+            # genuine wall-clock overlap: one Perfetto thread per worker
+            self.tracer.wspan(
+                f"{task.payload}.{task.method}",
+                result.wall_t0, result.wall_t1,
+                track=f"worker{result.worker}", cat="executor",
+                args={"rank": rank, "backend": self.executor.name},
+            )
+
     def _faulty_send(self, rank: int, op: Send) -> None:
         """Send path with the fault plan's disposition applied."""
         disp = self._faults.on_send(rank, op.dest, op.tag)
-        nbytes = payload_bytes(op.payload)
+        nbytes = self._message_bytes(rank, op)
         self.clocks[rank] += self.cost_model.send_overhead
         arrival = (
             self.clocks[rank]

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.obs.tracer import Tracer
 from repro.parallel.collectives import allgather, allreduce, bcast
+from repro.parallel.executor import DispatchContext, ExecutionBackend
 from repro.parallel.faults import FaultPlan, RankFailure, RecvTimeout
 from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
 from repro.parallel.topology import SpaceTimeGrid
@@ -231,6 +232,7 @@ def pfasst_rank_program(
     u0: np.ndarray,
     spatial: Optional[Sequence[SpatialTransfer]] = None,
     space: Optional[VirtualComm] = None,
+    dispatch: Optional[DispatchContext] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Rank program executing PFASST on one time rank.
 
@@ -243,6 +245,14 @@ def pfasst_rank_program(
     :func:`repro.sdc.sweeper.evaluate_rhs`, sharding the tree work while
     keeping the time algorithm — and, without a live ``space``, the op
     stream — unchanged.
+
+    ``dispatch`` routes RHS evaluations of problems registered with the
+    scheduler's execution backend through ``Compute`` ops (see
+    :mod:`repro.parallel.executor`): independent evaluations across time
+    ranks — and, on the grid, the per-row far/near tree segments — then
+    run concurrently on real cores under a process backend, while the
+    time algorithm, the message pattern and (with ``measure_compute``
+    off) the virtual clocks stay byte-identical.
 
     With ``config.recovery != "fail"`` the program survives injected rank
     crashes (:class:`~repro.parallel.faults.RankFailure` thrown at an op
@@ -300,7 +310,7 @@ def pfasst_rank_program(
             # re-evaluate it from u0 (dirty flag)
             fine.u0_dirty = True
             if config.reeval_after_interp:
-                fine.F = yield from _evaluate_all(fine, t_slice, dt, space)
+                fine.F = yield from _evaluate_all(fine, t_slice, dt, space, dispatch)
             else:
                 fine.F = tr.interpolate_nodes(coarse.F)
             fine.tau = None
@@ -308,7 +318,7 @@ def pfasst_rank_program(
     def _predictor(block, attempt, t_slice, u0_by_level):
         coarsest.u0 = u0_by_level[-1]
         coarsest.U, coarsest.F = yield from coarsest.sweeper.initialize_gen(
-            t_slice, dt, coarsest.u0, "spread", space=space
+            t_slice, dt, coarsest.u0, "spread", space=space, dispatch=dispatch
         )
         for j in range(rank + 1):
             new_u0 = None
@@ -321,7 +331,7 @@ def pfasst_rank_program(
             if config.trace:
                 yield comm.annotate(f"begin:predict:{j}")
             coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
-                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0, space=space
+                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0, space=space, dispatch=dispatch
             )
             if config.trace:
                 yield comm.annotate(f"end:predict:{j}")
@@ -345,7 +355,7 @@ def pfasst_rank_program(
                 pass_u0 = level.u0 if (s == 0 and level.u0_dirty) else None
                 level.U, level.F = yield from level.sweeper.sweep_gen(
                     t_slice, dt, level.U, level.F,
-                    u0=pass_u0, tau=tau, space=space,
+                    u0=pass_u0, tau=tau, space=space, dispatch=dispatch,
                 )
             level.u0_dirty = False
             if config.trace:
@@ -363,7 +373,7 @@ def pfasst_rank_program(
             coarse.U = tr.restrict_nodes(level.U)
             coarse.U_at_restriction = coarse.U.copy()
             coarse.u0 = tr.restrict_state(level.u0)
-            coarse.F = yield from _evaluate_all(coarse, t_slice, dt, space)
+            coarse.F = yield from _evaluate_all(coarse, t_slice, dt, space, dispatch)
             coarse.F_at_restriction = coarse.F.copy()
             coarse.tau = fas_correction(
                 dt, tr, level.F, coarse.F,
@@ -386,7 +396,7 @@ def pfasst_rank_program(
         for s in range(coarsest.spec.sweeps):
             coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
                 t_slice, dt, coarsest.U, coarsest.F,
-                u0=new_u0 if s == 0 else None, tau=coarsest.tau, space=space,
+                u0=new_u0 if s == 0 else None, tau=coarsest.tau, space=space, dispatch=dispatch,
             )
         if config.trace:
             yield comm.annotate(f"end:sweep:L{n_levels - 1}:k{k}")
@@ -406,7 +416,7 @@ def pfasst_rank_program(
                 coarse.U - coarse.U_at_restriction
             )
             if config.reeval_after_interp:
-                level.F = yield from _evaluate_all(level, t_slice, dt, space)
+                level.F = yield from _evaluate_all(level, t_slice, dt, space, dispatch)
             else:
                 # correct F by the interpolated increment of the
                 # coarse evaluations since restriction
@@ -432,14 +442,15 @@ def pfasst_rank_program(
                 pass_u0 = level.u0 if level.u0_dirty else None
                 level.U, level.F = yield from level.sweeper.sweep_gen(
                     t_slice, dt, level.U, level.F,
-                    u0=pass_u0, tau=level.tau, space=space,
+                    u0=pass_u0, tau=level.tau, space=space, dispatch=dispatch,
                 )
                 level.u0_dirty = False
             elif config.reeval_after_interp and not level.u0_dirty:
                 # keep the literal-Algorithm-1 mode's F fully
                 # consistent at node 0 as well
                 level.F[0] = yield from evaluate_rhs(
-                    level.problem, space, t_slice, level.u0
+                    level.problem, space, t_slice, level.u0,
+                    dispatch=dispatch,
                 )
 
         fine = levels[0]
@@ -545,14 +556,14 @@ def pfasst_rank_program(
             u0s.append(tr.restrict_state(u0s[-1]))
         coarsest.u0 = u0s[-1]
         coarsest.U, coarsest.F = yield from coarsest.sweeper.initialize_gen(
-            t_slice, dt, coarsest.u0, "spread", space=space
+            t_slice, dt, coarsest.u0, "spread", space=space, dispatch=dispatch
         )
         if config.trace:
             yield comm.annotate("begin:warm-rebuild")
         for s in range(coarsest.spec.sweeps):
             coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
                 t_slice, dt, coarsest.U, coarsest.F,
-                u0=coarsest.u0 if s == 0 else None, space=space,
+                u0=coarsest.u0 if s == 0 else None, space=space, dispatch=dispatch,
             )
         if config.trace:
             yield comm.annotate("end:warm-rebuild")
@@ -738,12 +749,15 @@ def pfasst_rank_program(
 def _evaluate_all(
     level: Level, t_slice: float, dt: float,
     space: Optional[VirtualComm] = None,
+    dispatch: Optional[DispatchContext] = None,
 ) -> Generator[Any, Any, np.ndarray]:
     """Evaluate the level's RHS at every collocation node (generator)."""
     times = level.sweeper.node_times(t_slice, dt)
     F = []
     for t, u in zip(times, level.U):
-        F.append((yield from evaluate_rhs(level.problem, space, t, u)))
+        F.append((yield from evaluate_rhs(
+            level.problem, space, t, u, dispatch=dispatch
+        )))
     return np.stack(F, axis=0)
 
 
@@ -754,6 +768,7 @@ def _grid_rank_program(
     u0: np.ndarray,
     spatial: Optional[Sequence[SpatialTransfer]],
     grid: SpaceTimeGrid,
+    dispatch: Optional[DispatchContext] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Rank program for the full P_T x P_S grid (paper Fig. 2).
 
@@ -766,7 +781,7 @@ def _grid_rank_program(
     space = yield from comm.split(color=t_idx, key=s_idx)
     tcomm = yield from comm.split(color=s_idx, key=t_idx)
     result = yield from pfasst_rank_program(
-        tcomm, config, specs, u0, spatial, space=space
+        tcomm, config, specs, u0, spatial, space=space, dispatch=dispatch
     )
     # every member of a space row drives identical time logic over
     # identical full states, so end values must agree *bitwise* — any
@@ -821,6 +836,7 @@ def run_pfasst(
     service_order: str = "ascending",
     tracer: Optional[Tracer] = None,
     p_space: int = 1,
+    executor: Optional[ExecutionBackend] = None,
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
 
@@ -851,6 +867,20 @@ def run_pfasst(
     (with per-iteration residual instants) per rank — export it with
     :func:`repro.obs.export_chrome_trace` or render it with
     ``repro-trace gantt`` to reproduce the paper's Fig. 6.
+
+    ``executor`` selects the *execution backend*
+    (:mod:`repro.parallel.executor`): every level problem is registered
+    under a ``DispatchContext`` and RHS evaluations become scheduler
+    ``Compute`` ops.  With a
+    :class:`~repro.parallel.executor.ProcessExecutor` the independent
+    evaluations of one scheduling round run concurrently on real cores;
+    the numerics, message stream and (``measure_compute=False``) virtual
+    clocks are byte-identical to :class:`~repro.parallel.executor.
+    SerialExecutor` and to ``executor=None``.  One caveat:
+    ``evaluator_stats`` counts RHS calls in the *driver* process, so
+    under a process backend the dispatched calls land in the workers and
+    the driver-side counters read near zero — use the scheduler metrics
+    (``executor.dispatches{...}``) for call accounting instead.
     """
     check_positive("p_time", p_time)
     check_positive("p_space", p_space)
@@ -863,20 +893,26 @@ def run_pfasst(
         p_time * p_space, cost_model=cost_model,
         measure_compute=measure_compute,
         verify=verify, fault_plan=fault_plan, service_order=service_order,
-        tracer=tracer,
+        tracer=tracer, executor=executor,
     )
+    dispatch: Optional[DispatchContext] = None
+    if executor is not None:
+        dispatch = DispatchContext(executor)
+        for i, spec in enumerate(specs):
+            dispatch.register(f"level{i}", spec.problem)
     if p_space > 1:
         grid = SpaceTimeGrid(p_time, p_space)
         results = scheduler.run(
             _grid_rank_program,
-            args=(config, specs, np.asarray(u0), spatial, grid),
+            args=(config, specs, np.asarray(u0), spatial, grid, dispatch),
         )
         # all space columns are bitwise-identical (checked inside the
         # program); report the s=0 column as the canonical one
         results = [r for r in results if r["space_rank"] == 0]
     else:
         results = scheduler.run(
-            pfasst_rank_program, args=(config, specs, np.asarray(u0), spatial)
+            pfasst_rank_program,
+            args=(config, specs, np.asarray(u0), spatial, None, dispatch),
         )
     by_rank = sorted(results, key=lambda r: r["rank"])
     return PfasstResult(

@@ -23,6 +23,7 @@ from typing import Literal, Optional, Tuple
 import numpy as np
 
 from repro.analysis.sanitize import boundary
+from repro.parallel.executor import Compute, ComputeTask
 from repro.sdc.quadrature import QuadratureRule
 from repro.utils.timing import TimingRegistry
 from repro.vortex.problem import ODEProblem
@@ -32,7 +33,8 @@ __all__ = ["ExplicitSDCSweeper", "evaluate_rhs"]
 InitStrategy = Literal["spread", "euler"]
 
 
-def evaluate_rhs(problem: ODEProblem, space, t: float, u: np.ndarray):
+def evaluate_rhs(problem: ODEProblem, space, t: float, u: np.ndarray,
+                 dispatch=None):
     """RHS evaluation generator, space-parallel when ``space`` is live.
 
     With a space communicator of size > 1 and a problem exposing
@@ -40,11 +42,26 @@ def evaluate_rhs(problem: ODEProblem, space, t: float, u: np.ndarray):
     ``yield from``; otherwise it is a plain ``problem.rhs`` call with
     *zero* yields, so serial op streams are byte-identical to the direct
     call.  All sweeper/controller RHS sites route through here.
+
+    ``dispatch`` (a :class:`repro.parallel.executor.DispatchContext`)
+    turns the evaluation into the scheduler's dispatch unit: when the
+    problem is registered with the execution backend, the call is yielded
+    as a :class:`~repro.parallel.executor.Compute` operation — on a
+    process backend, independent RHS evaluations across time ranks then
+    run concurrently on real cores.  Without a dispatch context (or for
+    unregistered problems) behaviour is unchanged.
     """
     program = getattr(problem, "rhs_program", None)
     if space is not None and space.size > 1 and program is not None:
-        result = yield from program(space, t, u)
+        result = yield from program(space, t, u, dispatch=dispatch)
         return result
+    if dispatch is not None:
+        key = dispatch.key_of(problem)
+        if key is not None:
+            result = yield Compute(
+                ComputeTask(key, "rhs", args=(t,), arrays=(u,))
+            )
+            return result
     return problem.rhs(t, u)
 
 
@@ -96,12 +113,14 @@ class ExplicitSDCSweeper:
         u0: np.ndarray,
         strategy: InitStrategy = "spread",
         space=None,
+        dispatch=None,
     ):
         """Generator form of :meth:`initialize` (RHS via :func:`evaluate_rhs`).
 
         Drive with ``yield from`` inside a rank program to shard the RHS
-        work over ``space``; without a live ``space`` it performs zero
-        yields and computes exactly what :meth:`initialize` does.
+        work over ``space`` and/or dispatch it to an execution backend
+        via ``dispatch``; without either it performs zero yields and
+        computes exactly what :meth:`initialize` does.
         """
         with self.timings.phase("initialize"):
             m1 = self.num_nodes
@@ -109,7 +128,9 @@ class ExplicitSDCSweeper:
             U = np.empty((m1,) + u0.shape, dtype=np.float64)
             F = np.empty_like(U)
             U[0] = u0
-            F[0] = yield from evaluate_rhs(self.problem, space, times[0], u0)
+            F[0] = yield from evaluate_rhs(
+                self.problem, space, times[0], u0, dispatch=dispatch
+            )
             if strategy == "spread":
                 for m in range(1, m1):
                     U[m] = u0
@@ -119,7 +140,8 @@ class ExplicitSDCSweeper:
                 for m in range(1, m1):
                     U[m] = U[m - 1] + delta[m - 1] * F[m - 1]
                     F[m] = yield from evaluate_rhs(
-                        self.problem, space, times[m], U[m]
+                        self.problem, space, times[m], U[m],
+                        dispatch=dispatch,
                     )
             else:
                 raise ValueError(f"unknown init strategy {strategy!r}")
@@ -149,6 +171,7 @@ class ExplicitSDCSweeper:
         u0: Optional[np.ndarray] = None,
         tau: Optional[np.ndarray] = None,
         space=None,
+        dispatch=None,
     ):
         """Generator form of :meth:`sweep` (RHS via :func:`evaluate_rhs`)."""
         with self.timings.phase("sweep"):
@@ -167,7 +190,7 @@ class ExplicitSDCSweeper:
             else:
                 U_new[0] = u0
                 F_new[0] = yield from evaluate_rhs(
-                    self.problem, space, times[0], u0
+                    self.problem, space, times[0], u0, dispatch=dispatch
                 )
             for m in range(m1 - 1):
                 U_new[m + 1] = (
@@ -176,7 +199,8 @@ class ExplicitSDCSweeper:
                     + integral[m + 1]
                 )
                 F_new[m + 1] = yield from evaluate_rhs(
-                    self.problem, space, times[m + 1], U_new[m + 1]
+                    self.problem, space, times[m + 1], U_new[m + 1],
+                    dispatch=dispatch,
                 )
             return U_new, F_new
 

@@ -45,6 +45,17 @@ Interaction lists are laid out once per traversal by
 per-group segment table shared by the far and near phases (replacing the
 seed's two stable argsorts + four ``searchsorted`` calls; a sort is only
 performed when the traversal output is not already group-ordered).
+
+**Process safety.** The batched kernels are safe to run inside worker
+processes of the executor backend (:mod:`repro.parallel.executor`):
+module state is limited to immutable constants (``_INV_FOUR_PI``, the
+budget defaults), inputs are only read (positions/charges may arrive as
+read-only shared-memory views), and all mutation targets are the
+caller-allocated ``vel`` / ``grad`` output buffers.  Callers that cross a
+process boundary must therefore allocate *fresh, writable* outputs on the
+worker side — :func:`check_output_buffers` validates the contract
+(float64, C-contiguous, writable, correctly shaped) before the GEMM
+passes touch them.
 """
 
 from __future__ import annotations
@@ -84,9 +95,49 @@ __all__ = [
     "batched_near_vortex",
     "batched_far_coulomb",
     "batched_near_coulomb",
+    "check_output_buffers",
 ]
 
 _INV_FOUR_PI = 1.0 / (4.0 * np.pi)
+
+
+def check_output_buffers(
+    vel: np.ndarray,
+    grad: Optional[np.ndarray],
+    n: int,
+    gradient: bool,
+) -> None:
+    """Validate accumulation buffers before the batched far/near passes.
+
+    The engine accumulates in place, so the buffers must be fresh float64
+    C-contiguous *writable* arrays of the full particle count.  Read-only
+    views (e.g. shared-memory inputs mapped into an executor worker) and
+    stale-shaped reuse are rejected here, with a clear message, instead
+    of failing deep inside a GEMM scatter.
+    """
+    def _check(name: str, a: np.ndarray, shape: Tuple[int, ...]) -> None:
+        if a.shape != shape:
+            raise ValueError(
+                f"{name} buffer has shape {a.shape}, expected {shape}"
+            )
+        if a.dtype != np.float64:
+            raise TypeError(
+                f"{name} buffer has dtype {a.dtype}, expected float64"
+            )
+        if not a.flags.c_contiguous:
+            raise ValueError(f"{name} buffer must be C-contiguous")
+        if not a.flags.writeable:
+            raise ValueError(
+                f"{name} buffer is read-only; the engine accumulates in "
+                "place — allocate a fresh array on this side of any "
+                "process boundary"
+            )
+
+    _check("velocity", vel, (n, 3))
+    if gradient:
+        if grad is None:
+            raise ValueError("gradient requested but grad buffer is None")
+        _check("gradient", grad, (n, 3, 3))
 
 #: default temporary-memory budget per evaluation batch/chunk
 DEFAULT_BUDGET_BYTES = 64 * 2**20

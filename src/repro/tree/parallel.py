@@ -59,6 +59,7 @@ from repro.tree.engine import (
     batched_far_vortex,
     batched_near_vortex,
     build_traversal_layout,
+    check_output_buffers,
 )
 from repro.tree.evaluator import TreeEvaluator, _make_stats
 from repro.tree.mac import MACVariant
@@ -362,25 +363,27 @@ class SpaceParallelTreeEvaluator(TreeEvaluator):
         state.engine_layouts[key] = found
         return found
 
-    def field_program(
+    def segment_field(
         self,
-        space: Optional[VirtualComm],
         positions: np.ndarray,
         charges: np.ndarray,
+        rank: int,
+        p_space: int,
         gradient: bool = True,
-    ) -> Generator[Any, Any, VelocityField]:
-        """Space-collective field evaluation; returns the full field.
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Far/near field of ``rank``'s segment, as compact sorted-order
+        arrays ``(vel[p_lo:p_hi], grad[p_lo:p_hi])``.
 
-        Every rank of ``space`` must drive this generator at the same
-        call site (it is a collective: two allgathers plus annotations).
-        The returned :class:`VelocityField` covers *all* particles and is
-        identical on every space rank.
+        This is the *dispatchable* compute unit of the space-parallel
+        pipeline: it takes only plain arrays plus scalars (shared-
+        memory-friendly, no communicator), rebuilds tree state through
+        the evaluator's content-addressed cache (a hit in-process; a
+        per-worker warm-up under a process backend), and allocates its
+        own output buffers — inputs may arrive as read-only
+        shared-memory views.  Both the inline and the dispatched path of
+        :meth:`field_program` call exactly this method, so their results
+        are bitwise identical.
         """
-        if space is None or space.size == 1:
-            return self.field(positions, charges, gradient=gradient)
-
-        self.calls += 1
-        rank, p_space = space.rank, space.size
         state, build_cached = self.cache.state(
             positions, self.leaf_size, self.phases
         )
@@ -390,8 +393,70 @@ class SpaceParallelTreeEvaluator(TreeEvaluator):
             self.theta, self.mac_variant, moments.bmax, self.phases
         )
         shard = compute_shard(state, p_space)
+        charges_sorted = charges[tree.order]
+        sub, layout = self._segment_layout(state, lists, shard, rank)
+        n = positions.shape[0]
+        vel = np.zeros((n, 3))
+        grad = np.zeros((n, 3, 3)) if gradient else None
+        check_output_buffers(vel, grad, n, gradient)
+        with self.phases.phase("far_field"):
+            batched_far_vortex(
+                tree, moments, layout, self.kernel, self.sigma,
+                self.order, gradient, vel, grad,
+                budget_bytes=self.batch_budget_bytes,
+            )
+        with self.phases.phase("near_field"):
+            batched_near_vortex(
+                tree, charges_sorted, layout, self.kernel, self.sigma,
+                gradient, self._exclude_zero, vel, grad,
+                budget_bytes=self.batch_budget_bytes,
+            )
+        self.last_stats = _make_stats(
+            tree, sub, build_cached, moments_cached, traversal_cached
+        )
         p_lo = int(shard.bounds[rank])
         p_hi = int(shard.bounds[rank + 1])
+        return (
+            np.ascontiguousarray(vel[p_lo:p_hi]),
+            np.ascontiguousarray(grad[p_lo:p_hi]) if gradient else None,
+        )
+
+    def field_program(
+        self,
+        space: Optional[VirtualComm],
+        positions: np.ndarray,
+        charges: np.ndarray,
+        gradient: bool = True,
+        dispatch=None,
+        payload_key: Optional[str] = None,
+    ) -> Generator[Any, Any, VelocityField]:
+        """Space-collective field evaluation; returns the full field.
+
+        Every rank of ``space`` must drive this generator at the same
+        call site (it is a collective: two allgathers plus annotations).
+        The returned :class:`VelocityField` covers *all* particles and is
+        identical on every space rank.
+
+        With ``dispatch`` and ``payload_key`` set (by
+        ``VortexProblem.rhs_program`` when an execution backend is
+        attached), the far/near GEMM segment — :meth:`segment_field` —
+        is yielded as a :class:`~repro.parallel.executor.Compute`
+        operation instead of running inline; the branch exchange, the
+        top-of-tree verification and the RHS allgather stay in the event
+        loop either way.
+        """
+        if space is None or space.size == 1:
+            return self.field(positions, charges, gradient=gradient)
+
+        self.calls += 1
+        rank, p_space = space.rank, space.size
+        # The branch exchange needs the tree and moments; the interaction
+        # lists and segment layout are (re)derived inside segment_field —
+        # a cache hit inline, a per-worker warm-up under a process backend.
+        state, _ = self.cache.state(positions, self.leaf_size, self.phases)
+        tree = state.tree
+        moments, _ = state.vortex_moments(charges, self.phases)
+        shard = compute_shard(state, p_space)
         charges_sorted = charges[tree.order]
 
         # ---- branch exchange (paper Fig. 3 / Fig. 5) -------------------
@@ -411,33 +476,23 @@ class SpaceParallelTreeEvaluator(TreeEvaluator):
 
         # ---- local far/near evaluation ---------------------------------
         yield space.annotate("begin:space:compute")
-        sub, layout = self._segment_layout(state, lists, shard, rank)
         n = positions.shape[0]
-        vel = np.zeros((n, 3))
-        grad = np.zeros((n, 3, 3)) if gradient else None
-        with self.phases.phase("far_field"):
-            batched_far_vortex(
-                tree, moments, layout, self.kernel, self.sigma,
-                self.order, gradient, vel, grad,
-                budget_bytes=self.batch_budget_bytes,
+        if dispatch is not None and payload_key is not None:
+            from repro.parallel.executor import Compute, ComputeTask
+
+            seg = yield Compute(ComputeTask(
+                payload_key, "field_segment",
+                arrays=(positions, charges),
+                tail=(rank, p_space, gradient),
+            ))
+        else:
+            seg = self.segment_field(
+                positions, charges, rank, p_space, gradient=gradient
             )
-        with self.phases.phase("near_field"):
-            batched_near_vortex(
-                tree, charges_sorted, layout, self.kernel, self.sigma,
-                gradient, self._exclude_zero, vel, grad,
-                budget_bytes=self.batch_budget_bytes,
-            )
-        self.last_stats = _make_stats(
-            tree, sub, build_cached, moments_cached, traversal_cached
-        )
         yield space.annotate("end:space:compute")
 
         # ---- allgather the RHS segments --------------------------------
         yield space.annotate("begin:space:rhs-allgather")
-        seg = (
-            np.ascontiguousarray(vel[p_lo:p_hi]),
-            np.ascontiguousarray(grad[p_lo:p_hi]) if gradient else None,
-        )
         seg_bytes = int(seg[0].nbytes + (seg[1].nbytes if gradient else 0))
         metrics.counter("space.rhs_bytes", rank=wr).inc(seg_bytes)
         segments = yield from allgather(space, seg, tag="space:rhs")

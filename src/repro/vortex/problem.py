@@ -140,7 +140,7 @@ class VortexProblem(ODEProblem):
         field = self.evaluator.field(positions, charges, gradient=True)
         return pack_state(field.velocity, field.stretching(vorticity, self.scheme))
 
-    def rhs_program(self, space, t: float, u: np.ndarray):
+    def rhs_program(self, space, t: float, u: np.ndarray, dispatch=None):
         """Generator form of :meth:`rhs` for space-parallel evaluation.
 
         When ``space`` is a live communicator (size > 1) and the
@@ -149,9 +149,24 @@ class VortexProblem(ODEProblem):
         field solve is driven collectively over the space ranks via
         ``yield from``.  Otherwise this degenerates to :meth:`rhs` with
         *zero* yields, so serial op streams stay byte-identical.
+
+        ``dispatch`` (a :class:`repro.parallel.executor.DispatchContext`
+        under which this problem is registered) routes the compute-heavy
+        segments to the scheduler's execution backend: the whole RHS on
+        the serial-space path, the per-rank far/near GEMM segment on the
+        space-parallel path (branch exchange and RHS allgather stay in
+        the event loop — they are communication, not compute).
         """
         program = getattr(self.evaluator, "field_program", None)
+        key = dispatch.key_of(self) if dispatch is not None else None
         if space is None or space.size == 1 or program is None:
+            if key is not None:
+                from repro.parallel.executor import Compute, ComputeTask
+
+                result = yield Compute(
+                    ComputeTask(key, "rhs", args=(t,), arrays=(u,))
+                )
+                return result
             return self.rhs(t, u)
         positions, vorticity = unpack_state(u)
         if positions.shape[0] != self.n:
@@ -159,8 +174,31 @@ class VortexProblem(ODEProblem):
                 f"state carries {positions.shape[0]} particles, expected {self.n}"
             )
         charges = vorticity * self.volumes[:, None]
-        field = yield from program(space, positions, charges, gradient=True)
+        field = yield from program(
+            space, positions, charges, gradient=True,
+            dispatch=dispatch, payload_key=key,
+        )
         return pack_state(field.velocity, field.stretching(vorticity, self.scheme))
+
+    def field_segment(
+        self,
+        positions: np.ndarray,
+        charges: np.ndarray,
+        rank: int,
+        p_space: int,
+        gradient: bool = True,
+    ):
+        """One space rank's compact far/near field segment (dispatch unit).
+
+        Thin forwarding method so a :class:`~repro.parallel.executor.
+        ComputeTask` over this *registered problem* can name the
+        evaluator's segment computation with a plain string method —
+        the RPR006 process-safety contract.  Requires an evaluator
+        exposing ``segment_field`` (the space-parallel tree evaluator).
+        """
+        return self.evaluator.segment_field(
+            positions, charges, rank, p_space, gradient=gradient
+        )
 
     def with_evaluator(self, evaluator: FieldEvaluator) -> "VortexProblem":
         """Same problem, different field evaluator (used for coarse levels)."""

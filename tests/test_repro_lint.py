@@ -1,4 +1,4 @@
-"""Tests for the repro-lint static analyser (rules RPR001-RPR005)."""
+"""Tests for the repro-lint static analyser (rules RPR001-RPR006)."""
 
 from pathlib import Path
 
@@ -215,6 +215,61 @@ class TestRPR005AssertInLibrary:
         assert lint_source(src, "pkg/mod.py") == []
 
 
+class TestRPR006ComputeTask:
+    def test_lambda_argument_flagged(self):
+        src = (
+            "from repro.parallel.executor import ComputeTask\n"
+            "t = ComputeTask('p', 'rhs', args=(lambda u: u,))\n"
+        )
+        vs = lint_source(src, "pkg/mod.py")
+        assert codes(vs) == ["RPR006"]
+        assert "lambda" in vs[0].message
+
+    def test_lambda_in_positional_args_flagged(self):
+        src = (
+            "from repro.parallel import executor\n"
+            "t = executor.ComputeTask('p', 'rhs', (lambda: 1,), (), ())\n"
+        )
+        assert codes(lint_source(src, "pkg/mod.py")) == ["RPR006"]
+
+    def test_computed_method_flagged(self):
+        src = (
+            "from repro.parallel.executor import ComputeTask\n"
+            "def f(name):\n"
+            "    return ComputeTask('p', name, args=(1.0,))\n"
+        )
+        vs = lint_source(src, "pkg/mod.py")
+        assert codes(vs) == ["RPR006"]
+        assert "string literal" in vs[0].message
+
+    def test_method_keyword_flagged(self):
+        src = (
+            "from repro.parallel.executor import ComputeTask\n"
+            "m = str('rhs')\n"
+            "t = ComputeTask(payload='p', method=m)\n"
+        )
+        assert codes(lint_source(src, "pkg/mod.py")) == ["RPR006"]
+
+    def test_literal_method_and_plain_args_clean(self):
+        src = (
+            "from repro.parallel.executor import ComputeTask\n"
+            "t = ComputeTask('p', 'rhs', args=(1.0,), arrays=(u,))\n"
+        )
+        assert lint_source(src, "pkg/mod.py") == []
+
+    def test_other_call_with_lambda_clean(self):
+        src = "x = sorted(items, key=lambda i: i.name)\n"
+        assert lint_source(src, "pkg/mod.py") == []
+
+    def test_suppressed(self):
+        src = (
+            "from repro.parallel.executor import ComputeTask\n"
+            "t = ComputeTask('p', m)"
+            "  # repro-lint: disable=RPR006 -- worker-side reconstruction\n"
+        )
+        assert lint_source(src, "pkg/mod.py") == []
+
+
 # ---------------------------------------------------------------------------
 # machinery
 # ---------------------------------------------------------------------------
@@ -241,7 +296,7 @@ class TestMachinery:
         assert v.render() == "a.py:3:7: RPR001 msg"
 
     def test_every_rule_has_catalogue_entry(self):
-        assert sorted(RULES) == [f"RPR00{i}" for i in range(1, 6)]
+        assert sorted(RULES) == [f"RPR00{i}" for i in range(1, 7)]
 
     def test_hot_modules_exist_in_repo(self):
         for sfx in HOT_MODULES:
