@@ -17,6 +17,12 @@ machine-checks both:
   reports, and the byte-identity machinery behind
   ``Scheduler(verify=True)`` replay (a practical race detector for the
   event-driven runtime);
+* :mod:`repro.analysis.commgraph` — ``repro-comm``, two-layer
+  communication verification: static per-rank automata extracted from
+  the rank-program generators (checks CG001-CG006 against the central
+  tag registry :mod:`repro.parallel.tags`) and dynamic vector-clock
+  certification (happens-before DAG, message races, schedule-independent
+  determinism certificates);
 * :mod:`repro.analysis.sanitize` — opt-in NaN/Inf and shape/dtype
   contract decorators gated behind ``REPRO_SANITIZE=1``, compiled to
   zero-overhead no-ops when the flag is unset.

@@ -11,7 +11,9 @@ Three checks, all hooked into :class:`repro.parallel.simmpi.Scheduler`:
 * **Orphan report** — messages still sitting in a channel after all
   ranks finished were sent but never received: a protocol mismatch
   (wrong tag, missing receive) that silently skews virtual-time and
-  byte statistics.  :func:`find_orphans` summarises them per channel.
+  byte statistics.  :func:`find_orphans` summarises them per *logical*
+  channel — exact tags sharing a family head collapse into one report
+  carrying the virtual-time window and recovery attempts involved.
 * **Replay verification** — ``Scheduler(verify=True)`` re-runs the rank
   programs under the *reversed* rank-service order and asserts
   byte-identical results via :func:`freeze`.  Numerics that depend on
@@ -24,7 +26,7 @@ Three checks, all hooked into :class:`repro.parallel.simmpi.Scheduler`:
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -48,18 +50,48 @@ class VerificationError(RuntimeError):
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class OrphanMessage:
-    """Messages sent on ``(source, dest, tag)`` that were never received."""
+    """Messages sent on ``(source, dest, tag)`` that were never received.
+
+    One report per **tag class** (head of the tag family, see
+    :func:`repro.parallel.tags.tag_class`), not per exact tag: a
+    protocol mismatch in an iterating program leaves one undelivered
+    message per block/iteration on the *same* logical channel, and a
+    flood of one-count entries buries the actual defect.  The
+    diagnostic extras (how many exact tags, which recovery attempts,
+    the virtual-time window of the sends) are excluded from equality so
+    reports compare on the logical channel alone.
+    """
 
     source: int
     dest: int
+    #: the tag *class* — exact tag when all orphans share it, otherwise
+    #: the family head the collapsed exact tags have in common
     tag: Hashable
     count: int
+    #: number of distinct exact tags collapsed into this report
+    variants: int = field(default=1, compare=False)
+    #: recovery attempts the orphaned sends belonged to (when the tag
+    #: family declares an attempt component), sorted
+    attempts: Tuple[int, ...] = field(default=(), compare=False)
+    #: virtual send-time window of the orphaned messages
+    first_sent: float = field(default=0.0, compare=False)
+    last_sent: float = field(default=0.0, compare=False)
 
     def render(self) -> str:
-        return (
+        text = (
             f"rank {self.source} -> rank {self.dest} tag={self.tag!r}: "
             f"{self.count} message(s) sent but never received"
         )
+        if self.variants > 1:
+            text += f" ({self.variants} distinct tags)"
+        if self.attempts:
+            text += f" [attempts {', '.join(map(str, self.attempts))}]"
+        if self.count and self.last_sent > 0.0:
+            window = (f"t={self.first_sent:.9g}"
+                      if self.first_sent == self.last_sent
+                      else f"t={self.first_sent:.9g}..{self.last_sent:.9g}")
+            text += f" sent at {window}"
+        return text
 
 
 class WaitForGraph:
@@ -136,12 +168,47 @@ class WaitForGraph:
 def find_orphans(
     channels: Mapping[Tuple[int, int, Hashable], Any]
 ) -> List[OrphanMessage]:
-    """Summarise undelivered messages left in the scheduler's channels."""
-    orphans = [
-        OrphanMessage(source=src, dest=dest, tag=tag, count=len(queue))
-        for (src, dest, tag), queue in channels.items()
-        if len(queue)
-    ]
+    """Summarise undelivered messages, deduplicated per logical channel.
+
+    Exact channels sharing ``(source, dest, tag_class)`` collapse into
+    one :class:`OrphanMessage` carrying the total count, the number of
+    distinct exact tags, the recovery attempts involved and the
+    virtual-time window of the sends (read off the queued messages'
+    ``sent``/``vc`` bookkeeping when present).
+    """
+    from repro.parallel.tags import attempt_of, tag_class
+
+    grouped: Dict[Tuple[int, int, Hashable], Dict[str, Any]] = {}
+    for (src, dest, tag), queue in channels.items():
+        if not len(queue):
+            continue
+        key = (src, dest, tag_class(tag))
+        slot = grouped.setdefault(key, {
+            "count": 0, "tags": set(), "attempts": set(), "sent": [],
+        })
+        slot["count"] += len(queue)
+        slot["tags"].add(tag)
+        attempt = attempt_of(tag)
+        if attempt is not None:
+            slot["attempts"].add(attempt)
+        for msg in queue:
+            sent = getattr(msg, "sent", None)
+            if isinstance(sent, (int, float)):
+                slot["sent"].append(float(sent))
+    orphans = []
+    for (src, dest, cls), slot in grouped.items():
+        exact = slot["tags"]
+        orphans.append(OrphanMessage(
+            source=src, dest=dest,
+            # keep the exact tag when nothing was collapsed — existing
+            # single-channel reports stay byte-identical
+            tag=next(iter(exact)) if len(exact) == 1 else cls,
+            count=slot["count"],
+            variants=len(exact),
+            attempts=tuple(sorted(slot["attempts"])),
+            first_sent=min(slot["sent"], default=0.0),
+            last_sent=max(slot["sent"], default=0.0),
+        ))
     return sorted(orphans, key=lambda o: (o.source, o.dest, repr(o.tag)))
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, Generator, List, Optional
 
+from repro.parallel import tags
 from repro.parallel.simmpi import VirtualComm
 
 __all__ = ["bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
@@ -41,7 +42,7 @@ def bcast(
     comm: VirtualComm,
     value: Any,
     root: int = 0,
-    tag: str = "_bcast",
+    tag: str = tags.BCAST,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,
@@ -84,7 +85,7 @@ def reduce(
     value: Any,
     op: Callable[[Any, Any], Any] = operator.add,
     root: int = 0,
-    tag: str = "_reduce",
+    tag: str = tags.REDUCE,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,
@@ -112,7 +113,7 @@ def allreduce(
     comm: VirtualComm,
     value: Any,
     op: Callable[[Any, Any], Any] = operator.add,
-    tag: Any = "_allreduce",
+    tag: Any = tags.ALLREDUCE,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,
@@ -136,7 +137,7 @@ def gather(
     comm: VirtualComm,
     value: Any,
     root: int = 0,
-    tag: str = "_gather",
+    tag: str = tags.GATHER,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,
@@ -161,7 +162,7 @@ def scatter(
     comm: VirtualComm,
     values: Optional[List[Any]],
     root: int = 0,
-    tag: str = "_scatter",
+    tag: str = tags.SCATTER,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,
@@ -201,7 +202,7 @@ def _recv_one(
 def allgather(
     comm: VirtualComm,
     value: Any,
-    tag: str = "_allgather",
+    tag: str = tags.ALLGATHER,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,
@@ -236,7 +237,7 @@ def allgather(
 
 def barrier(
     comm: VirtualComm,
-    tag: str = "_barrier",
+    tag: str = tags.BARRIER,
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.0,

@@ -61,6 +61,7 @@ import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.parallel import tags as _tags
 from repro.parallel.executor import (
     Compute,
     ComputeTask,
@@ -230,6 +231,12 @@ class _Message:
     arrival: float
     #: pristine-payload checksum, set only on fault-injected channels
     checksum: Optional[int] = None
+    #: sender's virtual clock at the send instant (orphan diagnostics)
+    sent: float = 0.0
+    #: sender's send stamp (a globally unique sequence number), set only
+    #: under ``certify``; the full vector clock is reconstructed offline
+    #: from the event log
+    vc: Optional[int] = None
 
 
 class VirtualComm:
@@ -332,7 +339,7 @@ class VirtualComm:
         """
         seq = self._split_seq
         self._split_seq += 1
-        tag = ("_split", seq)
+        tag = (_tags.SPLIT, seq)
         entry = (self.rank, color, self.rank if key is None else key)
         if self.rank == 0:
             entries = [entry]
@@ -353,7 +360,7 @@ class VirtualComm:
             return None
         members = table[color]
         return SubComm(self, members, members.index(self.rank),
-                       ("sub", seq, color))
+                       (_tags.SUBCOMM, seq, color))
 
 
 class SubComm(VirtualComm):
@@ -506,6 +513,22 @@ class Scheduler:
         With a backend that ``requires_pickling``, unpicklable *message*
         payloads raise :class:`~repro.parallel.executor.
         PayloadPicklingError` instead of the advisory size warning.
+    certify :
+        When True, the scheduler stamps every message with a scalar send
+        stamp and logs every send/delivery in per-rank program order —
+        one list append per event on the hot path; the **vector
+        clocks** of the happens-before DAG are reconstructed offline
+        from that log after the run.  Then,
+        :func:`repro.analysis.commgraph.hb.build_certificate` derives a
+        :class:`~repro.analysis.commgraph.hb.DeterminismCertificate`
+        (service-order-independent clock digest + per-channel census,
+        kept in :attr:`certificate` and in the ``comm.certificate``
+        metric) and flags **message races**: deliveries on one exact
+        ``(src, dst, tag)`` channel whose send events are not ordered by
+        happens-before — e.g. fault-injected duplicates.  With
+        ``verify=True`` the replay's digest must match the primary's.
+        When False (default) the clock plumbing is never entered and
+        message streams are byte-identical to the plain scheduler.
 
     Attributes
     ----------
@@ -528,6 +551,7 @@ class Scheduler:
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
         executor: Optional[ExecutionBackend] = None,
+        certify: bool = False,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
@@ -545,6 +569,7 @@ class Scheduler:
         self.fault_plan = fault_plan
         self.tracer: Tracer | NullTracer = tracer or NULL_TRACER
         self.executor = executor
+        self.certify = certify
         self._strict_payloads = (
             executor is not None and executor.requires_pickling
         )
@@ -576,6 +601,25 @@ class Scheduler:
         self._shadow: Dict[Tuple[int, int, Hashable], deque] = defaultdict(
             deque
         )
+        #: certificate of the last completed ``certify=True`` run
+        self.certificate: Optional[Any] = None
+        #: per-rank program-order event logs (certify only): an ``int``
+        #: entry is a send stamp, a tuple entry is the raw delivery
+        #: record ``(src, dst, tag, send_stamp, None, sent, t)``; vector
+        #: clocks are reconstructed from these offline, keeping the hot
+        #: path to one list append per event
+        self._events: Optional[List[List[Any]]] = (
+            [[] for _ in range(self.n_ranks)] if self.certify else None
+        )
+        #: monotonically increasing send-stamp counter (certify only)
+        self._send_counter = 0
+        #: vector-clocked delivery records ``(src, dst, tag, send_vc,
+        #: recv_vc_after, sent, t)``, populated by the certificate's
+        #: offline reconstruction — plain tuples so commgraph stays a
+        #: lazy import
+        self._deliveries: List[Tuple[Any, ...]] = []
+        #: wire-message census per exact channel (certify only)
+        self._census: Dict[Tuple[int, int, Hashable], int] = {}
         #: (rank, task) pairs awaiting the next dispatch barrier
         self._compute_queue: List[Tuple[int, ComputeTask]] = []
         if self.executor is not None:
@@ -608,6 +652,8 @@ class Scheduler:
         if self.executor is not None:
             # deterministic fold of per-worker compute metrics deltas
             self.executor.collect_into(self.metrics)
+        if self.certify:
+            self._build_certificate()
         self._report_orphans()
         if self.tracer.enabled:
             self._trace_resilience()
@@ -717,10 +763,28 @@ class Scheduler:
                 stacklevel=3,
             )
 
+    def _build_certificate(self) -> None:
+        """Derive the run's happens-before certificate (certify only)."""
+        from repro.analysis.commgraph.hb import (
+            build_certificate,
+            reconstruct_vector_clocks,
+        )
+
+        deliveries, clocks = reconstruct_vector_clocks(
+            self.n_ranks, self._events or []
+        )
+        self._deliveries = deliveries
+        cert = build_certificate(
+            self.n_ranks, deliveries, self._census, clocks,
+        )
+        self.certificate = cert
+        self.metrics.counter("comm.certificate", digest=cert.digest).inc()
+        self.metrics.counter("comm.races").inc(len(cert.races))
+
     def _verify_replay(
         self, program: RankProgram, args: Tuple, primary: List[Any]
     ) -> None:
-        from repro.analysis.commcheck import compare_replays
+        from repro.analysis.commcheck import VerificationError, compare_replays
 
         replay = Scheduler(
             self.n_ranks,
@@ -741,6 +805,7 @@ class Scheduler:
                 self.executor.serial_clone()
                 if self.executor is not None else None
             ),
+            certify=self.certify,
         )
         replay_results = replay._run_pass(program, args)
         compare_replays(
@@ -753,6 +818,14 @@ class Scheduler:
                 self.clocks, replay.clocks,
                 detail="virtual clocks diverged under the replay order",
             )
+        if self.certify:
+            replay._build_certificate()
+            if replay.certificate.digest != self.certificate.digest:
+                raise VerificationError(
+                    "determinism certificate diverged under the replay "
+                    f"service order: {self.certificate.digest} vs "
+                    f"{replay.certificate.digest}"
+                )
 
     # ------------------------------------------------------------------
     def _try_unblock(self, rank: int, state: _RankState) -> bool:
@@ -769,6 +842,12 @@ class Scheduler:
                 )
         t_blocked = self.clocks[rank]
         self.clocks[rank] = max(self.clocks[rank], msg.arrival)
+        if self._events is not None:
+            # _record_delivery inlined on the delivery hot path
+            self._events[rank].append(
+                (source, rank, tag, msg.vc, None, msg.sent,
+                 self.clocks[rank])
+            )
         if self.tracer.enabled:
             track = f"rank{rank}"
             if self.clocks[rank] > t_blocked:
@@ -827,6 +906,7 @@ class Scheduler:
                 payload_bytes(pristine.payload)
             )
             self.clocks[rank] = t_detect + cost
+            self._record_delivery(rank, source, tag, pristine)
             self.metrics.counter("mpi.retransmissions").inc()
             self.resilience.recovered.append(
                 FaultEvent(
@@ -898,6 +978,7 @@ class Scheduler:
                 payload_bytes(pristine.payload)
             )
             self.clocks[rank] += cost
+            self._record_delivery(rank, source, tag, pristine)
             self.metrics.counter("mpi.retransmissions").inc()
             self.resilience.recovered.append(
                 FaultEvent(
@@ -1026,8 +1107,15 @@ class Scheduler:
                 nbytes = self._message_bytes(rank, op)
                 self.clocks[rank] += self.cost_model.send_overhead
                 arrival = self.clocks[rank] + self.cost_model.transfer_time(nbytes)
+                if self._events is None:
+                    vc = None
+                else:
+                    # _stamp_send inlined on the eager-send hot path
+                    self._send_counter = vc = self._send_counter + 1
+                    self._events[rank].append(vc)
                 self._channels[(rank, op.dest, op.tag)].append(
-                    _Message(payload=op.payload, arrival=arrival)
+                    _Message(payload=op.payload, arrival=arrival,
+                             sent=self.clocks[rank], vc=vc)
                 )
                 self._count_message(rank, op.dest, op.tag, nbytes, arrival)
                 continue  # eager send: keep running this rank
@@ -1135,6 +1223,11 @@ class Scheduler:
             + self.cost_model.transfer_time(nbytes)
             + disp.extra_delay
         )
+        # one logical send event: shadow copies and injected duplicates
+        # all carry the same send stamp, so their reconstructed vector
+        # clocks are *equal* under happens-before — what certify flags
+        sent_t = self.clocks[rank]
+        send_vc = self._stamp_send(rank)
         self._count_message(rank, op.dest, op.tag, nbytes, arrival)
         if disp.extra_delay:
             self.resilience.injected.append(
@@ -1147,7 +1240,8 @@ class Scheduler:
         if disp.drop:
             # keep the pristine copy for link-layer retransmission
             self._shadow[(rank, op.dest, op.tag)].append(
-                _Message(payload=op.payload, arrival=arrival)
+                _Message(payload=op.payload, arrival=arrival,
+                         sent=sent_t, vc=send_vc)
             )
             self.resilience.injected.append(
                 FaultEvent(
@@ -1161,7 +1255,8 @@ class Scheduler:
         if disp.corrupt:
             checksum = payload_checksum(payload)
             self._shadow[(rank, op.dest, op.tag)].append(
-                _Message(payload=payload, arrival=arrival, checksum=checksum)
+                _Message(payload=payload, arrival=arrival, checksum=checksum,
+                         sent=sent_t, vc=send_vc)
             )
             payload = corrupt_payload(payload, disp.key)
             self.resilience.injected.append(
@@ -1172,7 +1267,7 @@ class Scheduler:
                 )
             )
         message = _Message(payload=payload, arrival=arrival,
-                           checksum=checksum)
+                           checksum=checksum, sent=sent_t, vc=send_vc)
         self._channels[(rank, op.dest, op.tag)].append(message)
         for _ in range(disp.duplicates):
             self._channels[(rank, op.dest, op.tag)].append(message)
@@ -1194,11 +1289,45 @@ class Scheduler:
                     self.tracer.vspan("compute", t0, self.clocks[rank],
                                       track=f"rank{rank}", cat="compute")
 
+    def _stamp_send(self, rank: int) -> Optional[int]:
+        """Log a send event; return its scalar stamp (certify only).
+
+        The stamp is a globally unique sequence number — just enough
+        for the offline reconstruction to identify the send event; no
+        vector clock is touched on the hot path.  (The eager-send fast
+        path inlines this; only fault-injection paths call it.)
+        """
+        if self._events is None:
+            return None
+        self._send_counter = seq = self._send_counter + 1
+        self._events[rank].append(seq)
+        return seq
+
+    def _record_delivery(self, rank: int, source: int, tag: Hashable,
+                         msg: _Message) -> None:
+        """Log a delivery event (certify only).
+
+        The record is a plain tuple ``(src, dst, tag, send_stamp, None,
+        sent_time, deliver_time)`` so the commgraph subsystem stays a
+        lazy import of the scheduler; :func:`repro.analysis.commgraph.
+        hb.reconstruct_vector_clocks` later replays the event logs and
+        fills the send/recv vector clocks.  (The healthy delivery fast
+        path inlines this; only corruption-recovery paths call it.)
+        """
+        if self._events is None:
+            return
+        self._events[rank].append(
+            (source, rank, tag, msg.vc, None, msg.sent, self.clocks[rank])
+        )
+
     def _count_message(self, src: int, dest: int, tag: Hashable,
                        nbytes: int, arrival: float) -> None:
         """Account one sent message (counters, tracer instant)."""
         self.stats_messages += 1
         self.stats_bytes += nbytes
+        if self.certify:
+            key = (src, dest, tag)
+            self._census[key] = self._census.get(key, 0) + 1
         self.metrics.counter("mpi.messages").inc()
         self.metrics.counter("mpi.bytes").inc(nbytes)
         self.metrics.counter("mpi.messages", src=src, dest=dest).inc()

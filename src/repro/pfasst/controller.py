@@ -56,6 +56,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs.tracer import Tracer
+from repro.parallel import tags
 from repro.parallel.collectives import allgather, allreduce, bcast
 from repro.parallel.executor import DispatchContext, ExecutionBackend
 from repro.parallel.faults import FaultPlan, RankFailure, RecvTimeout
@@ -181,6 +182,9 @@ class PfasstResult:
     #: snapshot of the scheduler's metrics registry (``mpi.messages`` /
     #: ``mpi.bytes`` globally and per rank pair, ``mpi.retransmissions``)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: the run's :class:`repro.analysis.commgraph.DeterminismCertificate`
+    #: when ``certify=True`` was requested; ``None`` otherwise
+    certificate: Optional[Any] = None
 
     @property
     def makespan(self) -> float:
@@ -324,7 +328,7 @@ def pfasst_rank_program(
             new_u0 = None
             if j > 0:
                 new_u0 = yield comm.recv(
-                    rank - 1, ("pred", block, attempt, j),
+                    rank - 1, (tags.PRED, block, attempt, j),
                     timeout=rt, retries=rr,
                 )
                 coarsest.u0 = new_u0
@@ -337,7 +341,7 @@ def pfasst_rank_program(
                 yield comm.annotate(f"end:predict:{j}")
             if rank < p_time - 1:
                 yield comm.send(
-                    rank + 1, ("pred", block, attempt, j + 1),
+                    rank + 1, (tags.PRED, block, attempt, j + 1),
                     coarsest.end_value,
                 )
         # interpolate the predicted solution up through the hierarchy
@@ -362,7 +366,7 @@ def pfasst_rank_program(
                 yield comm.annotate(f"end:sweep:L{lev}:k{k}")
             if rank < p_time - 1:
                 yield comm.send(
-                    rank + 1, ("lvl", block, attempt, lev, k),
+                    rank + 1, (tags.LVL, block, attempt, lev, k),
                     level.end_value,
                 )
             # restrict and compute FAS for the next level down
@@ -385,7 +389,7 @@ def pfasst_rank_program(
         # ---- coarsest level ----
         if rank > 0:
             coarsest.u0 = yield comm.recv(
-                rank - 1, ("lvl", block, attempt, n_levels - 1, k),
+                rank - 1, (tags.LVL, block, attempt, n_levels - 1, k),
                 timeout=rt, retries=rr,
             )
         else:
@@ -402,7 +406,7 @@ def pfasst_rank_program(
             yield comm.annotate(f"end:sweep:L{n_levels - 1}:k{k}")
         if rank < p_time - 1:
             yield comm.send(
-                rank + 1, ("lvl", block, attempt, n_levels - 1, k),
+                rank + 1, (tags.LVL, block, attempt, n_levels - 1, k),
                 coarsest.end_value,
             )
 
@@ -428,7 +432,7 @@ def pfasst_rank_program(
             # new initial value for this level
             if rank > 0:
                 recv_u0 = yield comm.recv(
-                    rank - 1, ("lvl", block, attempt, lev, k),
+                    rank - 1, (tags.LVL, block, attempt, lev, k),
                     timeout=rt, retries=rr,
                 )
                 delta0 = coarse.u0 - tr.restrict_state(recv_u0)
@@ -509,7 +513,7 @@ def pfasst_rank_program(
         root = _survivors(failed)[0]
         return (
             yield from bcast(
-                comm, u_block, root=root, tag=("ftub", block, attempt),
+                comm, u_block, root=root, tag=(tags.FTUB, block, attempt),
                 timeout=rt, retries=rr,
             )
         )
@@ -532,14 +536,14 @@ def pfasst_rank_program(
                 donors = [r for r in alive if r < f]
                 if donors and rank == donors[-1]:
                     yield comm.send(
-                        f, ("ftwarm", block, attempt, f), coarsest.end_value
+                        f, (tags.FTWARM, block, attempt, f), coarsest.end_value
                     )
             return u0_by_level
         # --- this rank is the replacement: rebuild from scratch ---
         donors = [r for r in alive if r < rank]
         if donors:
             v = yield comm.recv(
-                donors[-1], ("ftwarm", block, attempt, rank),
+                donors[-1], (tags.FTWARM, block, attempt, rank),
                 timeout=rt, retries=rr,
             )
             for tr in reversed(transfers):
@@ -605,7 +609,7 @@ def pfasst_rank_program(
                 if ft:
                     failed = yield from _protocol(allreduce(
                         comm, (rank,) if my_crash else (),
-                        op=_merge_ranks, tag=("ftpred", block, attempt),
+                        op=_merge_ranks, tag=(tags.FTPRED, block, attempt),
                         timeout=ct, retries=rr,
                     ), "predictor status allreduce")
                     if failed:
@@ -667,7 +671,7 @@ def pfasst_rank_program(
                     )
                     failed, worst = yield from _protocol(allreduce(
                         comm, status,
-                        op=_merge_status, tag=("ftsync", block, attempt, k),
+                        op=_merge_status, tag=(tags.FTSYNC, block, attempt, k),
                         timeout=ct, retries=rr,
                     ), "iteration status allreduce")
                     if failed:
@@ -714,7 +718,7 @@ def pfasst_rank_program(
                         # residual when recovery is on
                         worst = yield from _protocol(allreduce(
                             comm, residuals[-1], op=max,
-                            tag=("rtol", block, attempt, k),
+                            tag=(tags.RTOL, block, attempt, k),
                             timeout=ct, retries=rr,
                         ), "residual allreduce")
                     if worst <= config.residual_tol:
@@ -731,7 +735,7 @@ def pfasst_rank_program(
         # chain blocks: broadcast the final slice's end value
         u_block = yield from _protocol(bcast(
             comm, levels[0].end_value, root=p_time - 1,
-            tag=("blockend", block, attempt),
+            tag=(tags.BLOCKEND, block, attempt),
             timeout=ct, retries=rr,
         ), "block-end broadcast")
 
@@ -789,7 +793,7 @@ def _grid_rank_program(
     digest = hashlib.blake2b(
         np.ascontiguousarray(result["end_value"]).tobytes(), digest_size=16
     ).hexdigest()
-    digests = yield from allgather(space, digest, tag="space:digest")
+    digests = yield from allgather(space, digest, tag=tags.SPACE_DIGEST)
     if len(set(digests)) != 1:
         raise RuntimeError(
             f"space row {t_idx} diverged across its {space.size} ranks: "
@@ -837,6 +841,7 @@ def run_pfasst(
     tracer: Optional[Tracer] = None,
     p_space: int = 1,
     executor: Optional[ExecutionBackend] = None,
+    certify: bool = False,
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
 
@@ -881,6 +886,14 @@ def run_pfasst(
     under a process backend the dispatched calls land in the workers and
     the driver-side counters read near zero — use the scheduler metrics
     (``executor.dispatches{...}``) for call accounting instead.
+
+    ``certify=True`` turns on the scheduler's vector-clock instrumentation
+    (:mod:`repro.analysis.commgraph`): every message carries the sender's
+    clock, deliveries build a happens-before DAG, and the run's
+    :class:`~repro.analysis.commgraph.DeterminismCertificate` (digest +
+    channel census + any message races) lands in ``result.certificate``
+    and in the ``comm.certificate`` metric.  Combined with ``verify=True``
+    the replay's digest must match or the run fails.
     """
     check_positive("p_time", p_time)
     check_positive("p_space", p_space)
@@ -893,7 +906,7 @@ def run_pfasst(
         p_time * p_space, cost_model=cost_model,
         measure_compute=measure_compute,
         verify=verify, fault_plan=fault_plan, service_order=service_order,
-        tracer=tracer, executor=executor,
+        tracer=tracer, executor=executor, certify=certify,
     )
     dispatch: Optional[DispatchContext] = None
     if executor is not None:
@@ -927,4 +940,5 @@ def run_pfasst(
         recoveries=by_rank[0]["recoveries"],
         resilience=scheduler.resilience,
         metrics=scheduler.metrics.as_dict(),
+        certificate=scheduler.certificate,
     )

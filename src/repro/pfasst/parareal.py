@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 
 import numpy as np
 
+from repro.parallel import tags
 from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
 
 __all__ = [
@@ -121,24 +122,24 @@ def _parareal_rank_program(
     if rank == 0:
         u_left = u0
     else:
-        u_left = yield comm.recv(rank - 1, ("init", rank - 1))
+        u_left = yield comm.recv(rank - 1, (tags.PR_INIT, rank - 1))
     g_old = coarse(t_n, dt, u_left)
     if rank < size - 1:
-        yield comm.send(rank + 1, ("init", rank), g_old)
+        yield comm.send(rank + 1, (tags.PR_INIT, rank), g_old)
 
     value = g_old
     increments: List[float] = []
     for k in range(config.iterations):
         f_val = fine(t_n, dt, u_left)
         if rank > 0:
-            u_left = yield comm.recv(rank - 1, ("iter", k))
+            u_left = yield comm.recv(rank - 1, (tags.PR_ITER, k))
         g_new = coarse(t_n, dt, u_left)
         new_value = g_new + f_val - g_old
         increments.append(float(np.max(np.abs(new_value - value))))
         value = new_value
         g_old = g_new
         if rank < size - 1:
-            yield comm.send(rank + 1, ("iter", k), value)
+            yield comm.send(rank + 1, (tags.PR_ITER, k), value)
     return {
         "rank": rank,
         "end_value": value,

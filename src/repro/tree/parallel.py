@@ -51,6 +51,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallel import tags
 from repro.parallel.collectives import allgather
 from repro.parallel.simmpi import VirtualComm
 from repro.tree.build import Octree
@@ -470,7 +471,7 @@ class SpaceParallelTreeEvaluator(TreeEvaluator):
         metrics.counter("space.branch_cells", rank=wr).inc(
             int(payload["key"].shape[0])
         )
-        branches = yield from allgather(space, payload, tag="space:brx")
+        branches = yield from allgather(space, payload, tag=tags.SPACE_BRX)
         _verify_top(tree, moments, branches)
         yield space.annotate("end:space:branch-exchange")
 
@@ -495,7 +496,7 @@ class SpaceParallelTreeEvaluator(TreeEvaluator):
         yield space.annotate("begin:space:rhs-allgather")
         seg_bytes = int(seg[0].nbytes + (seg[1].nbytes if gradient else 0))
         metrics.counter("space.rhs_bytes", rank=wr).inc(seg_bytes)
-        segments = yield from allgather(space, seg, tag="space:rhs")
+        segments = yield from allgather(space, seg, tag=tags.SPACE_RHS)
         vel_sorted = np.empty((n, 3))
         grad_sorted = np.empty((n, 3, 3)) if gradient else None
         for r in range(p_space):

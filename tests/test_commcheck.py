@@ -240,3 +240,98 @@ def test_run_pfasst_verify_passthrough(scalar_problem):
     verified = run_pfasst(cfg, specs, u0, p_time=2, verify=True)
     plain = run_pfasst(cfg, specs, u0, p_time=2)
     assert np.array_equal(verified.u_end, plain.u_end)
+
+
+class TestOrphanDedup:
+    def test_exact_tags_collapse_per_family(self):
+        from collections import deque
+
+        from repro.parallel.simmpi import _Message
+
+        channels = {
+            (0, 1, ("pred", 0, 0, 1)): deque([_Message(1.0, 0.0, sent=0.5)]),
+            (0, 1, ("pred", 1, 2, 1)): deque([_Message(2.0, 0.0, sent=1.5)]),
+        }
+        [orphan] = find_orphans(channels)
+        assert orphan.tag == "pred" and orphan.count == 2
+        assert orphan.variants == 2
+        assert orphan.attempts == (0, 2)
+        assert orphan.first_sent == 0.5 and orphan.last_sent == 1.5
+        assert "2 distinct tags" in orphan.render()
+        assert "attempts 0, 2" in orphan.render()
+
+    def test_single_channel_keeps_exact_tag(self):
+        from collections import deque
+
+        from repro.parallel.simmpi import _Message
+
+        channels = {
+            (0, 1, "lost"): deque([_Message(0, 0, sent=0.1),
+                                   _Message(0, 0, sent=0.2)]),
+        }
+        assert find_orphans(channels) == [
+            OrphanMessage(source=0, dest=1, tag="lost", count=2)
+        ]
+
+    def test_extras_excluded_from_equality(self):
+        a = OrphanMessage(source=0, dest=1, tag="x", count=1,
+                          variants=3, attempts=(1,), first_sent=1.0)
+        b = OrphanMessage(source=0, dest=1, tag="x", count=1)
+        assert a == b
+
+    def test_scheduler_report_carries_send_times(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for block in range(3):
+                    yield comm.send(1, ("pred", block, 0, 1), float(block))
+            return None
+
+        sched = Scheduler(2, warn_orphans=False)
+        sched.run(prog)
+        [orphan] = sched.orphans
+        assert orphan.tag == "pred" and orphan.count == 3
+        assert orphan.variants == 3
+        assert orphan.last_sent >= orphan.first_sent >= 0.0
+
+
+class TestNestedSubCommDiagnostics:
+    """The (comm_id, (comm_id, tag)) translation path in diagnostics."""
+
+    def test_nested_split_deadlock_renders_translated_tags(self):
+        from repro.parallel import tags
+
+        def prog(comm):
+            # 4 ranks -> two rows of 2 -> nested singleton-pair split;
+            # then each nested pair deadlocks on a circular wait
+            row = yield from comm.split(comm.rank % 2, comm.rank // 2)
+            cell = yield from row.split(0, row.rank)
+            peer = 1 - cell.rank
+            v = yield cell.recv(peer, (tags.PRED, 0, 0, 0))
+            yield cell.send(peer, (tags.PRED, 0, 0, 0), v)
+            return v
+
+        sched = Scheduler(4)
+        with pytest.raises(DeadlockError) as err:
+            sched.run(prog)
+        msg = str(err.value)
+        assert "wait-for graph" in msg and "cycle:" in msg
+        # the rendered tag shows the full nested SubComm wrapping
+        assert msg.count("'sub'") >= 2
+        assert "'pred'" in msg
+
+    def test_nested_split_orphan_report_unwraps_tag_class(self):
+        from repro.parallel import tags
+        from repro.parallel.tags import tag_class
+
+        def prog(comm):
+            row = yield from comm.split(comm.rank % 2, comm.rank // 2)
+            cell = yield from row.split(0, row.rank)
+            if cell.rank == 0:
+                yield cell.send(1, (tags.PRED, 0, 0, 1), 1.0)
+            return None
+
+        sched = Scheduler(4, warn_orphans=False)
+        sched.run(prog)
+        assert sched.orphans
+        for orphan in sched.orphans:
+            assert tag_class(orphan.tag) == "pred"

@@ -1,0 +1,331 @@
+"""Tests for the commgraph static layer: tag registry, skeleton
+extraction, checks CG001-CG006, and the repro-comm CLI."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.commgraph import (
+    check_skeletons,
+    extract_paths,
+    flatten,
+    render_skeleton,
+    roots_of,
+    to_dot,
+)
+from repro.analysis.commgraph.cli import main
+from repro.parallel import tags
+from repro.parallel.tags import (
+    REGISTRY,
+    TagCollisionError,
+    TagRegistry,
+    attempt_of,
+    family_of,
+    tag_class,
+    tag_head,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+COMM_MODULES = [
+    str(SRC / "repro/pfasst/controller.py"),
+    str(SRC / "repro/parallel/collectives.py"),
+    str(SRC / "repro/parallel/simmpi.py"),
+    str(SRC / "repro/tree/parallel.py"),
+]
+
+
+# ---------------------------------------------------------------------------
+# tag registry
+# ---------------------------------------------------------------------------
+class TestTagRegistry:
+    def test_duplicate_head_collides(self):
+        reg = TagRegistry()
+        reg.register("x", "a")
+        with pytest.raises(TagCollisionError):
+            reg.register("x", "b")
+
+    def test_historical_values_preserved(self):
+        # the migration must keep message streams byte-identical
+        assert tags.PRED == "pred"
+        assert tags.FTSYNC == "ftsync"
+        assert tags.SPACE_DIGEST == "space:digest"
+        assert tags.SPLIT == "_split"
+        assert tags.SUBCOMM == "sub"
+        assert tags.BCAST == "_bcast"
+
+    def test_family_lookup(self):
+        fam = family_of((tags.PRED, 0, 1, 2))
+        assert fam is not None and fam.subsystem == "pfasst"
+        assert fam.arity == 3
+        assert family_of(("nope", 1)) is None
+
+    def test_tag_class_plain(self):
+        assert tag_class("space:brx") == "space:brx"
+        assert tag_class((tags.LVL, 0, 0, 1, 2)) == "lvl"
+
+    def test_tag_class_unwraps_subcomm(self):
+        wrapped = ((tags.SUBCOMM, 0, 1), (tags.PRED, 0, 0, 1))
+        assert tag_class(wrapped) == "pred"
+
+    def test_tag_class_unwraps_nested_subcomm(self):
+        # the (comm_id, (comm_id, tag)) path of a split-of-a-split
+        inner = ((tags.SUBCOMM, 1, 0), (tags.PRED, 2, 0, 1))
+        nested = ((tags.SUBCOMM, 0, 1), inner)
+        assert tag_class(nested) == "pred"
+        assert attempt_of(nested) == 0
+
+    def test_tag_class_split_protocol(self):
+        # split tags are ((SPLIT, seq), src): a tuple *head*
+        assert tag_class(((tags.SPLIT, 0), 3)) == tags.SPLIT
+        assert tag_class(((tags.SPLIT, 1), "b", 2)) == tags.SPLIT
+
+    def test_derived_collective_tags_classify(self):
+        base = (tags.FTSYNC, 0, 1, 2)
+        assert tag_class((base, 1)) == "ftsync"       # butterfly mask
+        assert tag_class((base, "r")) == "ftsync"     # reduce half
+        assert attempt_of((base, "r")) == 1
+
+    def test_tag_head(self):
+        assert tag_head((tags.RTOL, 1, 2, 3)) == "rtol"
+        assert tag_head("plain") == "plain"
+        assert tag_head(42) == 42  # bare non-tuple tags pass through
+
+
+# ---------------------------------------------------------------------------
+# extraction over the real modules
+# ---------------------------------------------------------------------------
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def skeletons(self):
+        return extract_paths(COMM_MODULES)
+
+    def test_real_programs_extracted(self, skeletons):
+        names = {sk.name for sk in skeletons}
+        assert "pfasst_rank_program" in names
+        assert "_grid_rank_program" in names
+        assert "VirtualComm.split" in names
+        assert "SpaceParallelTreeEvaluator.field_program" in names
+        assert {"bcast", "allreduce", "allgather", "barrier"} <= names
+
+    def test_grid_program_is_root(self, skeletons):
+        roots = {sk.name for sk in roots_of(skeletons)}
+        assert "_grid_rank_program" in roots
+        # closures inlined by the controller are not roots
+        assert "_predictor" not in roots
+        assert "_iteration" not in roots
+
+    def test_flatten_resolves_every_head(self, skeletons):
+        grid = next(sk for sk in skeletons
+                    if sk.name == "_grid_rank_program")
+        heads = set()
+        for op in flatten(grid, skeletons):
+            if op.kind in ("send", "recv", "collective") and op.tag:
+                assert op.tag.head is not None, op
+                heads.add(op.tag.head)
+        assert {"pred", "lvl", "ftsync", "ftpred", "ftub", "ftwarm",
+                "rtol", "blockend", "space:digest"} <= heads
+
+    def test_split_skeleton_has_both_phases(self, skeletons):
+        split = next(sk for sk in skeletons
+                     if sk.name == "VirtualComm.split")
+        kinds = [(op.kind, op.tag.head if op.tag else None)
+                 for op in split.comm_ops()]
+        assert ("send", tags.SPLIT) in kinds
+        assert ("recv", tags.SPLIT) in kinds
+
+    def test_render_and_dot(self, skeletons):
+        grid = next(sk for sk in skeletons
+                    if sk.name == "_grid_rank_program")
+        text = render_skeleton(grid)
+        assert "space:digest" in text
+        dot = to_dot(skeletons)
+        assert dot.startswith("digraph") and "pfasst_rank_program" in dot
+
+    def test_nested_subcomm_split_extracted(self, tmp_path):
+        # a split of a split: the extractor sees both split ops and the
+        # send on the innermost subcomm with a registry tag
+        src = textwrap.dedent("""
+            from repro.parallel import tags
+
+            def prog(comm):
+                row = yield from comm.split(comm.rank % 2, comm.rank // 2)
+                cell = yield from row.split(row.rank % 2, 0)
+                yield cell.send(0, (tags.PRED, 0, 0, 0), 1.0)
+                x = yield cell.recv(0, (tags.PRED, 0, 0, 0))
+                return x
+        """)
+        path = tmp_path / "nested.py"
+        path.write_text(src)
+        [sk] = extract_paths([str(path)])
+        splits = [op for op in sk.ops if op.kind == "split"]
+        assert len(splits) == 2
+        assert [op.comm for op in splits] == ["comm", "row"]
+        sends = [op for op in sk.ops if op.kind == "send"]
+        assert sends and sends[0].tag.head == "pred"
+        assert sends[0].comm == "cell"
+
+
+# ---------------------------------------------------------------------------
+# checks: the clean tree and one seeded mutation per rule
+# ---------------------------------------------------------------------------
+def _check_snippet(tmp_path, source, name="mod.py", subdir="pfasst"):
+    d = tmp_path / subdir
+    d.mkdir(exist_ok=True)
+    p = d / name
+    p.write_text(textwrap.dedent(source))
+    return check_skeletons(extract_paths([str(p)]))
+
+
+class TestChecks:
+    def test_repository_is_clean(self):
+        findings = check_skeletons(extract_paths(COMM_MODULES))
+        assert findings == []
+
+    def test_cg001_unregistered_head(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            def prog(comm, rank):
+                yield comm.send(rank + 1, ("bogus", 0), 1.0)
+                x = yield comm.recv(rank - 1, ("bogus", 0))
+        """)
+        assert {f.code for f in fs} == {"CG001"}
+        assert all(f.severity == "error" for f in fs)
+
+    def test_cg002_cross_subsystem_literal(self, tmp_path):
+        # a pfasst module re-spelling the space subsystem's head
+        fs = _check_snippet(tmp_path, """
+            def prog(comm, rank):
+                yield comm.send(rank + 1, ("space:brx", 0), 1.0)
+                x = yield comm.recv(rank - 1, ("space:brx", 0))
+        """)
+        assert "CG002" in {f.code for f in fs}
+
+    def test_registry_constant_crosses_subsystems_cleanly(self, tmp_path):
+        # importing another subsystem's *constant* is intentional reuse
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+
+            def prog(comm, rank):
+                yield comm.send(rank + 1, (tags.SPACE_BRX, 0), 1.0)
+                x = yield comm.recv(rank - 1, (tags.SPACE_BRX, 0))
+        """)
+        assert "CG002" not in {f.code for f in fs}
+
+    def test_cg003_arity_mismatch(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+
+            def prog(comm, rank):
+                yield comm.send(rank + 1, (tags.PRED, 0), 1.0)
+                x = yield comm.recv(rank - 1, (tags.PRED, 0))
+        """)
+        assert {f.code for f in fs} == {"CG003"}
+
+    def test_cg004_dangling_recv_is_error(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+
+            def prog(comm, rank):
+                x = yield comm.recv(rank - 1, (tags.FTUB, 0, 1))
+        """)
+        assert [(f.code, f.severity) for f in fs] == [("CG004", "error")]
+        assert "dangling recv" in fs[0].message
+
+    def test_cg004_orphan_prone_send_is_warning(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+
+            def prog(comm, rank):
+                yield comm.send(rank + 1, (tags.FTUB, 0, 1), 1.0)
+        """)
+        assert [(f.code, f.severity) for f in fs] == [("CG004", "warning")]
+
+    def test_cg005_divergent_collective_sequence(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+            from repro.parallel.collectives import allreduce, barrier
+
+            def prog(comm, rank):
+                if rank == 0:
+                    total = yield from allreduce(
+                        comm, 1.0, tag=(tags.RTOL, 0, 0, 0))
+                else:
+                    yield from barrier(comm)
+        """)
+        assert "CG005" in {f.code for f in fs}
+
+    def test_cg005_symmetric_branches_clean(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+            from repro.parallel.collectives import bcast
+
+            def prog(comm, rank):
+                if comm.rank == 0:
+                    v = yield from bcast(comm, 1.0, 0,
+                                         (tags.BLOCKEND, 0, 0))
+                else:
+                    v = yield from bcast(comm, None, 0,
+                                         (tags.BLOCKEND, 0, 0))
+        """)
+        assert "CG005" not in {f.code for f in fs}
+
+    def test_cg006_ring_wait_cycle(self, tmp_path):
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+
+            def prog(comm, rank, size):
+                x = yield comm.recv((rank - 1) % size,
+                                    (tags.PRED, 0, 0, 0))
+                yield comm.send((rank + 1) % size,
+                                (tags.PRED, 0, 0, 0), 1.0)
+        """)
+        cg6 = [f for f in fs if f.code == "CG006"]
+        assert cg6 and "cycle" in cg6[0].message
+        assert "wait-for graph" in cg6[0].message
+
+    def test_cg006_eager_pipeline_clean(self, tmp_path):
+        # send-before-recv pipelines are fine under eager semantics
+        fs = _check_snippet(tmp_path, """
+            from repro.parallel import tags
+
+            def prog(comm, rank, size):
+                if rank + 1 < size:
+                    yield comm.send(rank + 1, (tags.PRED, 0, 0, 0), 1.0)
+                if rank > 0:
+                    x = yield comm.recv(rank - 1, (tags.PRED, 0, 0, 0))
+        """)
+        assert "CG006" not in {f.code for f in fs}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_check_clean_exit_zero(self, capsys):
+        assert main(["check", *COMM_MODULES]) == 0
+        assert "0 error(s)" in capsys.readouterr().err
+
+    def test_check_seeded_mutation_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "pfasst"
+        bad.mkdir()
+        (bad / "bad.py").write_text(textwrap.dedent("""
+            def prog(comm, rank):
+                x = yield comm.recv(rank - 1, ("bogus", 0))
+        """))
+        assert main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "CG001" in out and "CG004" in out
+
+    def test_graph_ascii(self, capsys):
+        assert main(["graph", COMM_MODULES[0],
+                     "--root", "_grid_rank_program"]) == 0
+        assert "space:digest" in capsys.readouterr().out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", COMM_MODULES[3], "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_graph_unknown_root(self, capsys):
+        assert main(["graph", COMM_MODULES[0], "--root", "nope"]) == 2

@@ -1,4 +1,4 @@
-"""Tests for the repro-lint static analyser (rules RPR001-RPR006)."""
+"""Tests for the repro-lint static analyser (rules RPR001-RPR007)."""
 
 from pathlib import Path
 
@@ -296,7 +296,7 @@ class TestMachinery:
         assert v.render() == "a.py:3:7: RPR001 msg"
 
     def test_every_rule_has_catalogue_entry(self):
-        assert sorted(RULES) == [f"RPR00{i}" for i in range(1, 7)]
+        assert sorted(RULES) == [f"RPR00{i}" for i in range(1, 8)]
 
     def test_hot_modules_exist_in_repo(self):
         for sfx in HOT_MODULES:
@@ -341,3 +341,60 @@ def test_repository_lints_clean():
     """Acceptance: ``repro-lint src/`` exits 0 on this repository."""
     violations = lint_paths([str(REPO_SRC)])
     assert violations == [], "\n".join(v.render() for v in violations)
+
+
+class TestRPR007RawTagLiterals:
+    def test_send_with_tuple_literal(self):
+        src = (
+            "def prog(comm, rank):\n"
+            "    yield comm.send(rank + 1, ('pred', 0), 1.0)\n"
+        )
+        vs = lint_source(src, "src/repro/pfasst/mod.py")
+        assert codes(vs) == ["RPR007"]
+        assert "registry" in vs[0].message
+
+    def test_recv_with_string_literal(self):
+        src = "def prog(comm, rank):\n    x = yield comm.recv(0, 'raw')\n"
+        assert codes(lint_source(src, "pkg/mod.py")) == ["RPR007"]
+
+    def test_collective_tag_keyword(self):
+        src = (
+            "def prog(comm):\n"
+            "    yield from allreduce(comm, 1.0, tag=('ftsync', 0, 1))\n"
+        )
+        assert codes(lint_source(src, "pkg/mod.py")) == ["RPR007"]
+
+    def test_collective_tag_positional(self):
+        src = (
+            "def prog(comm):\n"
+            "    v = yield from bcast(comm, 1.0, 0, ('blockend', 0))\n"
+        )
+        assert codes(lint_source(src, "pkg/mod.py")) == ["RPR007"]
+
+    def test_registry_constant_clean(self):
+        src = (
+            "from repro.parallel import tags\n"
+            "def prog(comm, rank):\n"
+            "    yield comm.send(rank + 1, (tags.PRED, 0, 0, 1), 1.0)\n"
+        )
+        assert lint_source(src, "pkg/mod.py") == []
+
+    def test_generator_send_not_a_comm_site(self):
+        src = "def f(gen):\n    gen.send('value')\n"
+        assert lint_source(src, "pkg/mod.py") == []
+
+    def test_variable_tag_clean(self):
+        src = "def prog(comm, tag):\n    x = yield comm.recv(0, tag)\n"
+        assert lint_source(src, "pkg/mod.py") == []
+
+    def test_registry_module_exempt(self):
+        src = "PRED = register('pred', 'pfasst', 3)\n"
+        assert lint_source(src, "src/repro/parallel/tags.py") == []
+
+    def test_suppressible(self):
+        src = (
+            "def prog(comm):\n"
+            "    x = yield comm.recv(0, 'raw')"
+            "  # repro-lint: disable=RPR007 -- test fixture\n"
+        )
+        assert lint_source(src, "pkg/mod.py") == []
