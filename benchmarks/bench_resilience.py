@@ -3,12 +3,15 @@
 Runs PFASST(P_T=4) on the linear-oscillator model problem three ways —
 fault-free, and with a single injected rank crash recovered by each
 policy — plus a lossy-link row (drops + corruption repaired by bounded
-link-layer retransmission).  For every run it records the virtual-time
-makespan under the paper-calibrated communication cost model, the
-iteration counts (attempted vs converged), and the scheduler's
-resilience report, so the JSON quantifies the claim the tests assert:
-warm restarts rebuild the lost rank from its neighbour's coarse solution
-and therefore pay fewer extra iterations than a cold block restart.
+link-layer retransmission), and repeats the crash experiment on the
+P_T x P_S = 2x2 space-time grid, where the failed *space* rank is
+row-resynced from its surviving peer before the time-dimension rebuild.
+For every run it records the virtual-time makespan under the
+paper-calibrated communication cost model, the iteration counts
+(attempted vs converged), and the scheduler's resilience report, so the
+JSON quantifies the claim the tests assert: warm restarts rebuild the
+lost rank from its neighbour's coarse solution and therefore pay fewer
+extra iterations than a cold block restart.
 
 Results go to ``BENCH_resilience.json`` at the repository root.  Run
 directly (``python benchmarks/bench_resilience.py``); the pytest entry
@@ -34,6 +37,10 @@ P_TIME = 4
 N_STEPS = 8  # two blocks
 TOL = 1e-11
 CRASH = RankCrash(rank=2, after_ops=26)  # inside V-cycle iteration 2
+GRID_P_TIME, GRID_P_SPACE = 2, 2
+#: world rank 3 = (t=1, s=1): a *space* rank of the 2x2 grid, hit
+#: inside a V-cycle iteration (the recoverable window)
+GRID_CRASH = RankCrash(rank=3, after_ops=20)
 #: LogP-flavoured figures of the paper's interconnect era
 MODEL = CommCostModel(latency=5e-6, bandwidth=1.2e9, send_overhead=1e-6)
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
@@ -112,6 +119,26 @@ def measure() -> List[Dict[str, Any]]:
         _config("warm-restart"), specs, u0, fault_plan=lossy_plan, **kw
     )
     rows.append(_row("lossy link + retransmit", res, baseline))
+
+    # P_T x P_S grid: the same experiment with the crash on a *space*
+    # rank — recovery row-resyncs the survivor's level state across the
+    # space communicator before rejoining the time iteration
+    grid_kw = dict(p_time=GRID_P_TIME, p_space=GRID_P_SPACE,
+                   cost_model=MODEL)
+    grid_base = run_pfasst(_config(), specs, u0, **grid_kw)
+    rows.append(_row(
+        f"grid {GRID_P_TIME}x{GRID_P_SPACE} fault-free", grid_base
+    ))
+    grid_plan = FaultPlan(crashes=(GRID_CRASH,))
+    for policy in ("cold-restart", "warm-restart"):
+        res = run_pfasst(
+            _config(policy), specs, u0, fault_plan=grid_plan, **grid_kw
+        )
+        rows.append(_row(
+            f"grid {GRID_P_TIME}x{GRID_P_SPACE} space-rank crash + "
+            f"{policy}",
+            res, grid_base,
+        ))
     return rows
 
 
@@ -132,6 +159,10 @@ def test_recovery_overhead_ordering():
     lossy = rows["lossy link + retransmit"]
     assert lossy["error_vs_fault_free"] == 0.0  # retransmit is exact
     assert lossy["fault_events"]["retransmit"] == 2
+    for policy in ("cold-restart", "warm-restart"):
+        grid = rows[f"grid 2x2 space-rank crash + {policy}"]
+        assert grid["error_vs_fault_free"] < 100 * TOL
+        assert grid["recoveries"], "grid crash must be recovered, not missed"
 
 
 def main(argv: List[str]) -> None:
@@ -140,12 +171,19 @@ def main(argv: List[str]) -> None:
         "benchmark": "resilience",
         "description": "PFASST recovery-policy overhead vs fault-free "
                        "baseline (single rank crash at P_T=4; lossy-link "
-                       "retransmission), virtual-time cost model",
+                       "retransmission; space-rank crash on the 2x2 "
+                       "space-time grid), virtual-time cost model",
         "config": {
             "p_time": P_TIME,
             "n_steps": N_STEPS,
             "residual_tol": TOL,
             "crash": {"rank": CRASH.rank, "after_ops": CRASH.after_ops},
+            "grid": {
+                "p_time": GRID_P_TIME,
+                "p_space": GRID_P_SPACE,
+                "crash": {"rank": GRID_CRASH.rank,
+                          "after_ops": GRID_CRASH.after_ops},
+            },
             "cost_model": {
                 "latency": MODEL.latency,
                 "bandwidth": MODEL.bandwidth,

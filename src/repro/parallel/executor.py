@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
@@ -219,6 +219,8 @@ class ExecutionBackend:
         self._started = False
         #: worker id -> merged per-task metrics deltas for the active run
         self._buckets: Dict[int, MetricsRegistry] = {}
+        #: backend-side recovery events awaiting the scheduler's fold
+        self._events: List[Dict[str, Any]] = []
 
     # -- payload registry ----------------------------------------------
     def register(self, key: str, obj: Any) -> None:
@@ -268,6 +270,17 @@ class ExecutionBackend:
     def reset_run(self) -> None:
         """Drop per-run worker-metric buckets (scheduler run prologue)."""
         self._buckets = {}
+        self._events = []
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Return and clear pending backend recovery events.
+
+        The scheduler calls this after every dispatch barrier and folds
+        the entries (dicts with ``kind``/``detail`` keys) into the run's
+        :class:`~repro.parallel.faults.ResilienceReport`.
+        """
+        events, self._events = self._events, []
+        return events
 
     def _bucket(self, result: DispatchResult) -> None:
         if result.metrics is None:
@@ -434,6 +447,15 @@ class ProcessExecutor(ExecutionBackend):
     degenerate (still multi-process) case the test suite pins.  The pool
     starts lazily on first dispatch so payload registration stays open
     until the scheduler actually runs.
+
+    Worker death (``BrokenProcessPool``) is recoverable: dispatch is
+    deterministic and side-effect-free — tasks only read staged input
+    arrays and return values — so :meth:`dispatch` respawns the pool and
+    re-runs the whole in-flight batch, up to ``max_retries`` times with
+    exponential ``retry_backoff`` sleeps between attempts.  Each respawn
+    is recorded as a backend event (folded into the scheduler's
+    resilience report) and counted in the ``executor.pool_restarts`` /
+    ``executor.redispatched_tasks`` metrics.
     """
 
     name = "process"
@@ -444,13 +466,25 @@ class ProcessExecutor(ExecutionBackend):
         self,
         max_workers: int = 4,
         start_method: Optional[str] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         super().__init__()
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.max_workers = max_workers
         self.start_method = start_method
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._run_restarts = 0
+        self._run_redispatched = 0
 
     # -- pool lifecycle -------------------------------------------------
     def start(self) -> None:
@@ -486,11 +520,72 @@ class ProcessExecutor(ExecutionBackend):
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _respawn(self) -> None:
+        """Tear down a broken pool and start a fresh one."""
+        if self._pool is not None:
+            # the pool is broken; don't wait on dead workers
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self.start()
+
+    def reset_run(self) -> None:
+        super().reset_run()
+        self._run_restarts = 0
+        self._run_redispatched = 0
+
+    def collect_into(self, registry: MetricsRegistry) -> None:
+        super().collect_into(registry)
+        if self._run_restarts:
+            registry.counter("executor.pool_restarts").inc(
+                self._run_restarts
+            )
+            registry.counter("executor.redispatched_tasks").inc(
+                self._run_redispatched
+            )
+
     # -- execution ------------------------------------------------------
     def execute(self, task: ComputeTask) -> DispatchResult:
         return self.dispatch([task])[0]
 
     def dispatch(self, batch: List[ComputeTask]) -> List[DispatchResult]:
+        attempt = 0
+        while True:
+            try:
+                return self._dispatch_once(batch)
+            except BrokenExecutor as exc:
+                if attempt >= self.max_retries:
+                    self._events.append({
+                        "kind": "pool-failure",
+                        "detail": (
+                            f"worker pool died {attempt + 1} time(s) "
+                            f"dispatching a batch of {len(batch)} task(s); "
+                            f"retries exhausted (max_retries="
+                            f"{self.max_retries})"
+                        ),
+                    })
+                    raise RuntimeError(
+                        f"process pool worker death persisted through "
+                        f"{self.max_retries} respawn(s) for a batch of "
+                        f"{len(batch)} task(s): {exc!r}"
+                    ) from exc
+                attempt += 1
+                self._run_restarts += 1
+                self._run_redispatched += len(batch)
+                self._events.append({
+                    "kind": "pool-respawn",
+                    "detail": (
+                        f"worker death ({exc!r}); respawned pool and "
+                        f"re-dispatched {len(batch)} task(s) "
+                        f"[attempt {attempt}/{self.max_retries}]"
+                    ),
+                })
+                if self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                self._respawn()
+
+    def _dispatch_once(
+        self, batch: List[ComputeTask]
+    ) -> List[DispatchResult]:
         from multiprocessing import shared_memory
 
         self.start()

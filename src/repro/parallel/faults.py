@@ -348,6 +348,46 @@ class FaultEvent:
             parts.append(f"({self.detail})")
         return " ".join(parts)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (tag tuples become nested lists)."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "rank": self.rank,
+            "source": self.source,
+            "dest": self.dest,
+            "tag": _jsonify_tag(self.tag),
+            "detail": self.detail,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=data["kind"],
+            time=float(data["time"]),
+            rank=data.get("rank"),
+            source=data.get("source"),
+            dest=data.get("dest"),
+            tag=_tuplify_tag(data.get("tag")),
+            detail=data.get("detail", ""),
+            cost=float(data.get("cost", 0.0)),
+        )
+
+
+def _jsonify_tag(tag: Any) -> Any:
+    """Tuples to lists, recursively — the JSON image of a wire tag."""
+    if isinstance(tag, tuple):
+        return [_jsonify_tag(t) for t in tag]
+    return tag
+
+
+def _tuplify_tag(tag: Any) -> Any:
+    """Inverse of :func:`_jsonify_tag`: lists back to tuples."""
+    if isinstance(tag, list):
+        return tuple(_tuplify_tag(t) for t in tag)
+    return tag
+
 
 @dataclass
 class ResilienceReport:
@@ -356,11 +396,16 @@ class ResilienceReport:
     ``injected`` holds the faults the plan fired (crashes, drops,
     duplicates, delays, corruptions); ``recovered`` holds the recovery
     actions taken (retransmits, expired timeouts, caught/uncaught
-    crashes) with the virtual-clock cost each one charged.
+    crashes, pool respawns) with the virtual-clock cost each one
+    charged.  ``rule_activations`` maps every rule of the fault plan —
+    in plan order, crashes first — to how many times it actually fired,
+    so rules that never matched anything are visible as zero rows
+    instead of silently doing nothing.
     """
 
     injected: List[FaultEvent] = field(default_factory=list)
     recovered: List[FaultEvent] = field(default_factory=list)
+    rule_activations: List[Dict[str, Any]] = field(default_factory=list)
 
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -374,7 +419,8 @@ class ResilienceReport:
         return float(sum(ev.cost for ev in self.recovered))
 
     def summary(self) -> str:
-        if not self.injected and not self.recovered:
+        if (not self.injected and not self.recovered
+                and not self.rule_activations):
             return "resilience report: no faults injected, no recovery needed"
         lines = [
             f"resilience report: {len(self.injected)} fault(s) injected, "
@@ -385,7 +431,36 @@ class ResilienceReport:
             lines.append("  injected:  " + ev.render())
         for ev in self.recovered:
             lines.append("  recovered: " + ev.render())
+        dormant = [r for r in self.rule_activations
+                   if r["activations"] == 0]
+        for row in dormant:
+            lines.append(
+                f"  dormant:   {row['rule']} never fired ({row['describe']})"
+            )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable image, invertible via :meth:`from_dict`.
+
+        ``json.dumps(report.to_dict())`` round-trips: wire tags (nested
+        tuples) are stored as nested lists and converted back on load.
+        """
+        return {
+            "injected": [ev.to_dict() for ev in self.injected],
+            "recovered": [ev.to_dict() for ev in self.recovered],
+            "rule_activations": [dict(r) for r in self.rule_activations],
+            "counts": self.counts(),
+            "recovery_cost": self.recovery_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResilienceReport":
+        return cls(
+            injected=[FaultEvent.from_dict(d) for d in data["injected"]],
+            recovered=[FaultEvent.from_dict(d) for d in data["recovered"]],
+            rule_activations=[dict(r) for r in
+                              data.get("rule_activations", [])],
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -426,6 +501,42 @@ class FaultRuntime:
         self.report = report
         self._fired_crashes: set = set()
         self._match_counts: Dict[Tuple[int, int, int, Hashable], int] = {}
+        #: message-rule index -> number of sends the rule actually altered
+        #: (passed the occurrence and probability gates, not just matched)
+        self._rule_hits: Dict[int, int] = {}
+
+    def activation_summary(self) -> List[Dict[str, Any]]:
+        """Per-rule activation counts, in plan order (crashes first).
+
+        Rules with ``activations == 0`` never fired — usually a trigger
+        that the run never reached (an ``after_ops`` past program exit, a
+        channel that carries no traffic) and worth surfacing instead of
+        silently doing nothing.
+        """
+        rows: List[Dict[str, Any]] = []
+        for i, rule in enumerate(self.plan.crashes):
+            trigger = (f"after_ops={rule.after_ops}"
+                       if rule.after_ops is not None
+                       else f"at_time={rule.at_time}")
+            rows.append({
+                "rule": f"crash[{i}]",
+                "kind": "crash",
+                "describe": f"rank={rule.rank} {trigger}",
+                "activations": 1 if i in self._fired_crashes else 0,
+            })
+        for i, rule in enumerate(self.plan.messages):
+            rows.append({
+                "rule": f"message[{i}]",
+                "kind": rule.kind,
+                "describe": (
+                    f"source={rule.source} dest={rule.dest} "
+                    f"tag={_jsonify_tag(rule.tag)!r} "
+                    f"occurrences={rule.occurrences} "
+                    f"probability={rule.probability}"
+                ),
+                "activations": self._rule_hits.get(i, 0),
+            })
+        return rows
 
     # -- crashes --------------------------------------------------------
     def crash_due(
@@ -464,6 +575,7 @@ class FaultRuntime:
                 if draw >= rule.probability:
                     continue
             disp.key = (self.plan.seed, i, source, dest, tag, occ)
+            self._rule_hits[i] = self._rule_hits.get(i, 0) + 1
             if rule.kind == "drop":
                 disp.drop = True
             elif rule.kind == "duplicate":

@@ -88,6 +88,7 @@ __all__ = [
     "Work",
     "VirtualComm",
     "SubComm",
+    "EpochComm",
     "Scheduler",
     "DeadlockError",
     "OrphanMessageWarning",
@@ -423,6 +424,86 @@ class SubComm(VirtualComm):
         return self.parent.translate(self.members[rank])
 
 
+class EpochComm(VirtualComm):
+    """An attempt-stamped view of a communicator for grid recovery.
+
+    Pure tag-translation layer like :class:`SubComm`: every tag becomes
+    ``(("ftepoch", epoch), tag)`` on the parent.  The PFASST controller
+    bumps :attr:`epoch` whenever a recovery attempt abandons in-flight
+    collective traffic: partial messages from the aborted attempt stay
+    on the old epoch's channels and are orphaned instead of being
+    consumed FIFO-style by the redo (space collectives such as the
+    branch-exchange ring carry no attempt component of their own).
+
+    ``recv`` additionally injects a default ``timeout``/``retries``/
+    ``backoff`` when the call site passes none, so collectives written
+    for the fault-free path become abortable when a row peer dies.
+    """
+
+    def __init__(
+        self,
+        parent: VirtualComm,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.0,
+    ) -> None:
+        super().__init__(parent.rank, parent.size, parent._scheduler)
+        self.parent = parent
+        #: monotonically increasing; never reset (inner tags may not
+        #: carry a block component, so reuse across blocks would collide)
+        self.epoch = 0
+        self._default_timeout = timeout
+        self._default_retries = retries
+        self._default_backoff = backoff
+
+    def send(self, dest: int, tag: Hashable, payload: Any) -> Send:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range 0..{self.size - 1}")
+        if dest == self.rank:
+            raise ValueError("self-sends are not supported")
+        return self.parent.send(
+            dest, ((_tags.FTEPOCH, self.epoch), tag), payload
+        )
+
+    def recv(
+        self,
+        source: int,
+        tag: Hashable,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.0,
+    ) -> Recv:
+        if not 0 <= source < self.size:
+            raise ValueError(
+                f"source {source} out of range 0..{self.size - 1}"
+            )
+        if source == self.rank:
+            raise ValueError("self-receives are not supported")
+        if timeout is None and self._default_timeout is not None:
+            timeout = self._default_timeout
+            if retries == 0:
+                retries = self._default_retries
+            if backoff == 0.0:
+                backoff = self._default_backoff
+        return self.parent.recv(
+            source, ((_tags.FTEPOCH, self.epoch), tag),
+            timeout=timeout, retries=retries, backoff=backoff,
+        )
+
+    @property
+    def clock(self) -> float:
+        return self.parent.clock
+
+    @property
+    def world_rank(self) -> int:
+        return self.parent.world_rank
+
+    def translate(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+        return self.parent.translate(rank)
+
+
 RankProgram = Callable[[VirtualComm], Generator[Any, Any, Any]]
 
 
@@ -648,7 +729,15 @@ class Scheduler:
         two result lists must freeze to identical bytes.
         """
         self._reset_run_state()
-        results = self._run_pass(program, args)
+        try:
+            results = self._run_pass(program, args)
+        finally:
+            if self._faults is not None:
+                # per-rule activation counts (zero-activation rules are
+                # worth surfacing) — folded even when the run fails
+                self.resilience.rule_activations = (
+                    self._faults.activation_summary()
+                )
         if self.executor is not None:
             # deterministic fold of per-worker compute metrics deltas
             self.executor.collect_into(self.metrics)
@@ -1172,6 +1261,17 @@ class Scheduler:
             return False
         batch, self._compute_queue = self._compute_queue, []
         results = self.executor.dispatch([task for _, task in batch])
+        for ev in self.executor.drain_events():
+            # backend-side recovery (pool respawn + batch re-dispatch)
+            # surfaces in the run's resilience report, stamped with the
+            # virtual time of the dispatch barrier
+            self.resilience.recovered.append(
+                FaultEvent(
+                    kind=ev.get("kind", "pool-respawn"),
+                    time=max(self.clocks) if self.clocks else 0.0,
+                    detail=ev.get("detail", ""),
+                )
+            )
         self.metrics.histogram("executor.batch_width").observe(len(batch))
         for (rank, task), result in zip(batch, results):
             state = states[rank]

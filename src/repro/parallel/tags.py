@@ -55,6 +55,7 @@ __all__ = [
     "FTPRED",
     "FTSYNC",
     "FTWARM",
+    "FTROW",
     "RTOL",
     "BLOCKEND",
     # -- space-parallel tree --
@@ -72,6 +73,7 @@ __all__ = [
     # -- simulated-MPI infrastructure --
     "SPLIT",
     "SUBCOMM",
+    "FTEPOCH",
 ]
 
 
@@ -199,6 +201,12 @@ FTWARM = register(
     "warm-restart coarse hand-off to a rebuilt rank (block, attempt, rank)",
     attempt_index=1,
 )
+FTROW = register(
+    "ftrow", "pfasst", 2,
+    "grid-recovery row-resync level-state bcast over a space row "
+    "(block, attempt)",
+    attempt_index=1,
+)
 RTOL = register(
     "rtol", "pfasst", 3, "residual early-exit allreduce (block, attempt, k)",
     attempt_index=1,
@@ -247,6 +255,13 @@ SUBCOMM = register(
     "comm_id = ('sub', seq, color)",
     shared=True,
 )
+FTEPOCH = register(
+    "ftepoch", "simmpi", None,
+    "EpochComm tag-translation wrapper head: tags become "
+    "(('ftepoch', epoch), tag); bumping the epoch orphans in-flight "
+    "traffic from an aborted recovery attempt",
+    shared=True,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +282,8 @@ def _unwrap(tag: Hashable) -> Hashable:
 
     * ``(("sub", seq, color), inner_tag)`` — SubComm translation: the
       class lives in ``inner_tag``;
+    * ``(("ftepoch", epoch), inner_tag)`` — EpochComm attempt stamping:
+      the class lives in ``inner_tag``;
     * ``((base_tag, phase), component)`` — derived collective/split
       phases: the class lives in the nested head ``base_tag``;
     * ``("head", ...)`` / ``"head"`` — already a family form.
@@ -275,7 +292,7 @@ def _unwrap(tag: Hashable) -> Hashable:
     while isinstance(tag, tuple) and tag:
         head = tag[0]
         if isinstance(head, tuple) and head:
-            if head[0] == SUBCOMM and len(tag) >= 2:
+            if head[0] in (SUBCOMM, FTEPOCH) and len(tag) >= 2:
                 tag = tag[1]  # descend into the translated tag
             else:
                 tag = head  # derived phase: class is in the nested head

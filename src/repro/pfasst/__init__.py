@@ -13,6 +13,12 @@ from repro.pfasst.controller import (
     run_pfasst,
     pfasst_rank_program,
 )
+from repro.pfasst.checkpoint import (
+    RunCheckpoint,
+    RunCheckpointer,
+    snapshot_levels,
+    adopt_levels,
+)
 from repro.pfasst.parareal import (
     PararealConfig,
     PararealResult,
@@ -47,6 +53,10 @@ __all__ = [
     "PfasstResult",
     "run_pfasst",
     "pfasst_rank_program",
+    "RunCheckpoint",
+    "RunCheckpointer",
+    "snapshot_levels",
+    "adopt_levels",
     "PararealConfig",
     "PararealResult",
     "parareal_serial",

@@ -60,8 +60,19 @@ from repro.parallel import tags
 from repro.parallel.collectives import allgather, allreduce, bcast
 from repro.parallel.executor import DispatchContext, ExecutionBackend
 from repro.parallel.faults import FaultPlan, RankFailure, RecvTimeout
-from repro.parallel.simmpi import CommCostModel, Scheduler, VirtualComm
+from repro.parallel.simmpi import (
+    CommCostModel,
+    EpochComm,
+    Scheduler,
+    VirtualComm,
+)
 from repro.parallel.topology import SpaceTimeGrid
+from repro.pfasst.checkpoint import (
+    RunCheckpoint,
+    RunCheckpointer,
+    adopt_levels,
+    snapshot_levels,
+)
 from repro.pfasst.fas import fas_correction
 from repro.pfasst.level import Level, LevelSpec
 from repro.pfasst.transfer import SpatialTransfer, TimeSpaceTransfer
@@ -229,6 +240,26 @@ def _merge_status(a, b):
     return (_merge_ranks(a[0], b[0]), max(a[1], b[1]))
 
 
+@dataclass
+class _GridRecovery:
+    """Grid-recovery context threaded into :func:`pfasst_rank_program`.
+
+    Present only when ``p_space > 1`` and a recovery policy is active:
+    failure detection then runs over the *world* communicator (a crash
+    in one space column must be visible to every column — the columns
+    share space-row collectives), and all space traffic flows through an
+    :class:`~repro.parallel.simmpi.EpochComm` whose epoch the controller
+    bumps on every restart, orphaning in-flight ring messages from the
+    aborted attempt.
+    """
+
+    world: VirtualComm
+    grid: SpaceTimeGrid
+    space: EpochComm
+    t_idx: int
+    s_idx: int
+
+
 def pfasst_rank_program(
     comm: VirtualComm,
     config: PfasstConfig,
@@ -237,6 +268,9 @@ def pfasst_rank_program(
     spatial: Optional[Sequence[SpatialTransfer]] = None,
     space: Optional[VirtualComm] = None,
     dispatch: Optional[DispatchContext] = None,
+    ft_grid: Optional[_GridRecovery] = None,
+    checkpointer: Optional[RunCheckpointer] = None,
+    resume: Optional[RunCheckpoint] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Rank program executing PFASST on one time rank.
 
@@ -269,6 +303,22 @@ def pfasst_rank_program(
     refetch, donor hand-off, block-end broadcast) is fatal — the same
     caveat a real fault-tolerant MPI has when the recovery collective
     itself fails.
+
+    ``ft_grid`` (set by :func:`_grid_rank_program` when a recovery
+    policy is active at ``p_space > 1``) extends the protocol to the
+    whole grid: detection collectives run over the *world* communicator
+    (a space rank's crash must be visible to every column), warm
+    restarts bitwise-resync every space row from its lowest surviving
+    member before column donors rebuild fully-lost rows, and the space
+    comm's epoch is bumped on each restart so in-flight ring traffic
+    from the aborted attempt is orphaned.
+
+    ``checkpointer`` / ``resume`` attach durable checkpoint/restart
+    (:mod:`repro.pfasst.checkpoint`): contributions are plain in-process
+    calls after each iteration — zero extra ops, so the op stream stays
+    byte-identical — and a resumed program jumps to the checkpointed
+    block, adopts the level state bitwise and continues at iteration
+    ``k + 1``, reproducing the uninterrupted run exactly.
     """
     rank, p_time = comm.rank, comm.size
     if config.n_steps % p_time != 0:
@@ -295,6 +345,12 @@ def pfasst_rank_program(
     # neighbour receive — whose RecvTimeout the program catches — always
     # fires before a collective leg, which cannot catch it
     ct = rt * 8 if ft else None
+    # grid-wide recovery: detection collectives run over the world comm
+    # (a space rank's crash must be visible to every column); at
+    # p_space=1 ``detect`` is the time comm and ``me`` the time rank, so
+    # the op stream is byte-identical to the time-only controller
+    detect = ft_grid.world if ft_grid is not None else comm
+    me = detect.rank
 
     u_block = np.asarray(u0, dtype=np.float64).copy()
     residual_history: List[List[float]] = []
@@ -494,6 +550,59 @@ def pfasst_rank_program(
             )
         return attempt + 1
 
+    def _recovery_entry(block, attempt, phase, k, failed):
+        entry = {
+            "block": block, "attempt": attempt,
+            "phase": phase, "k": k,
+            "policy": config.recovery,
+            "failed_ranks": list(failed),
+        }
+        if ft_grid is not None:
+            # on the grid ``failed_ranks`` are world ranks; record the
+            # affected time slices too
+            entry["failed_time_ranks"] = list(_failed_time_ranks(failed))
+        return entry
+
+    def _failed_time_ranks(failed):
+        """Time ranks touched by a failed world-rank set (grid only)."""
+        return tuple(sorted({ft_grid.grid.coords(w)[0] for w in failed}))
+
+    def _fully_dead_rows(failed):
+        """Time ranks whose *entire* space row crashed (grid only)."""
+        p_space = ft_grid.grid.p_space
+        dead = []
+        for t in _failed_time_ranks(failed):
+            row = {t * p_space + s for s in range(p_space)}
+            if row <= set(failed):
+                dead.append(t)
+        return tuple(dead)
+
+    def _row_resync(block, attempt, failed):
+        """Bitwise-resync this rank's space row after a warm restart.
+
+        Row members abort an interrupted iteration at different receive
+        boundaries, so even rows with no crashed member can have
+        diverged from each other mid-V-cycle; every row therefore
+        adopts the level state of its lowest non-crashed member.  A row
+        with *no* surviving member resets instead — it is rebuilt from
+        a column donor by ``_warm_rebuild``.
+        """
+        p_space = ft_grid.grid.p_space
+        row = [ft_grid.t_idx * p_space + s for s in range(p_space)]
+        alive_s = [s for s, w in enumerate(row) if w not in failed]
+        if not alive_s:
+            for lv in levels:
+                lv.reset()
+            return
+        root = alive_s[0]
+        blob = snapshot_levels(levels) if ft_grid.s_idx == root else None
+        blob = yield from _protocol(bcast(
+            ft_grid.space, blob, root=root,
+            tag=(tags.FTROW, block, attempt), timeout=rt, retries=rr,
+        ), "row-resync broadcast")
+        if ft_grid.s_idx != root:
+            adopt_levels(levels, blob)
+
     def _survivors(failed):
         alive = [r for r in range(p_time) if r not in failed]
         if not alive:
@@ -507,13 +616,23 @@ def pfasst_rank_program(
         """Replacement ranks re-fetch the block initial value.
 
         Every rank participates (it is a broadcast from the lowest
-        surviving rank), which doubles as the barrier that keeps the
-        recovery lock-step.
+        surviving rank of the detection comm — the world comm on the
+        grid), which doubles as the barrier that keeps the recovery
+        lock-step.
         """
-        root = _survivors(failed)[0]
+        if ft_grid is not None:
+            alive = [r for r in range(detect.size) if r not in failed]
+            if not alive:
+                raise RuntimeError(
+                    f"PFASST recovery impossible: all {detect.size} grid "
+                    "ranks failed simultaneously"
+                )
+            root = alive[0]
+        else:
+            root = _survivors(failed)[0]
         return (
             yield from bcast(
-                comm, u_block, root=root, tag=(tags.FTUB, block, attempt),
+                detect, u_block, root=root, tag=(tags.FTUB, block, attempt),
                 timeout=rt, retries=rr,
             )
         )
@@ -576,15 +695,40 @@ def pfasst_rank_program(
         # descends from u_blk, which is exactly what it must be
         return u0s if rank == 0 else u0_by_level
 
+    # ---- resume from a durable checkpoint ------------------------------
+    start_block = 0
+    if resume is not None:
+        start_block = resume.block
+        iterations_done = [int(x) for x in resume.iterations_done]
+        total_iterations = [int(x) for x in resume.total_iterations]
+        recoveries = [dict(r) for r in resume.recoveries]
+        u_block = np.array(resume.u_block, dtype=np.float64, copy=True)
+
     # ---- main block loop ----------------------------------------------
-    for block in range(n_blocks):
+    for block in range(start_block, n_blocks):
         t_slice = config.t0 + (block * p_time + rank) * dt
         attempt = 0
         iters_attempted = 0
         residuals: List[float] = []
         k_done = 0
+        k = 0
         need_predictor = True
         u0_by_level: List[np.ndarray] = []
+
+        if resume is not None and block == resume.block:
+            # adopt the checkpointed iteration-end state bitwise and
+            # skip the predictor: the continuation executes exactly the
+            # ops the uninterrupted run would have from iteration k+1 on
+            attempt = resume.attempt
+            iters_attempted = resume.iters_attempted
+            residuals = [float(x) for x in resume.residuals[rank]]
+            k_done = resume.k + 1
+            k = k_done
+            need_predictor = False
+            adopt_levels(levels, resume.levels[rank])
+            u0_by_level = [u_block]
+            for tr in transfers:
+                u0_by_level.append(tr.restrict_state(u0_by_level[-1]))
 
         while True:  # re-entered on cold restarts
             if need_predictor:
@@ -608,7 +752,7 @@ def pfasst_rank_program(
 
                 if ft:
                     failed = yield from _protocol(allreduce(
-                        comm, (rank,) if my_crash else (),
+                        detect, (me,) if my_crash else (),
                         op=_merge_ranks, tag=(tags.FTPRED, block, attempt),
                         timeout=ct, retries=rr,
                     ), "predictor status allreduce")
@@ -618,16 +762,17 @@ def pfasst_rank_program(
                         attempt = _bump_attempt(
                             attempt, block, failed, "predictor"
                         )
-                        recoveries.append({
-                            "block": block, "attempt": attempt,
-                            "phase": "predictor", "k": None,
-                            "policy": config.recovery,
-                            "failed_ranks": list(failed),
-                        })
+                        if ft_grid is not None:
+                            # orphan in-flight space-ring traffic from
+                            # the aborted attempt
+                            ft_grid.space.epoch += 1
+                        recoveries.append(_recovery_entry(
+                            block, attempt, "predictor", None, failed
+                        ))
                         u_block = yield from _refetch_u_block(
                             failed, block, attempt
                         )
-                        if rank in failed:
+                        if me in failed:
                             for lv in levels:
                                 lv.reset()
                         continue
@@ -666,11 +811,11 @@ def pfasst_rank_program(
 
                 if ft:
                     status = (
-                        (rank,) if my_crash else (),
+                        (me,) if my_crash else (),
                         float("inf") if res is None else res,
                     )
                     failed, worst = yield from _protocol(allreduce(
-                        comm, status,
+                        detect, status,
                         op=_merge_status, tag=(tags.FTSYNC, block, attempt, k),
                         timeout=ct, retries=rr,
                     ), "iteration status allreduce")
@@ -678,28 +823,39 @@ def pfasst_rank_program(
                         attempt = _bump_attempt(
                             attempt, block, failed, "iteration"
                         )
-                        recoveries.append({
-                            "block": block, "attempt": attempt,
-                            "phase": "iteration", "k": k,
-                            "policy": config.recovery,
-                            "failed_ranks": list(failed),
-                        })
+                        if ft_grid is not None:
+                            # orphan in-flight space-ring traffic from
+                            # the aborted attempt
+                            ft_grid.space.epoch += 1
+                        recoveries.append(_recovery_entry(
+                            block, attempt, "iteration", k, failed
+                        ))
                         u_block = yield from _refetch_u_block(
                             failed, block, attempt
                         )
                         if config.recovery == "cold-restart":
-                            if rank in failed:
+                            if me in failed:
                                 for lv in levels:
                                     lv.reset()
                             need_predictor = True
                             finished_block = False
                             break  # back out to redo the whole block
                         # warm restart: rebuild the lost ranks in place,
-                        # then redo iteration k under the new attempt
-                        u0_by_level = yield from _warm_rebuild(
-                            failed, block, attempt, t_slice, u_block,
-                            u0_by_level,
-                        )
+                        # then redo iteration k under the new attempt.
+                        # On the grid, first bitwise-resync every space
+                        # row (members abort at different points), then
+                        # rebuild only rows that lost *all* members —
+                        # partially-crashed rows recover via the resync
+                        if ft_grid is not None:
+                            yield from _row_resync(block, attempt, failed)
+                            failed_t = _fully_dead_rows(failed)
+                        else:
+                            failed_t = tuple(failed)
+                        if failed_t:
+                            u0_by_level = yield from _warm_rebuild(
+                                failed_t, block, attempt, t_slice, u_block,
+                                u0_by_level,
+                            )
                         continue
                     if timeout_exc is not None:
                         raise RuntimeError(
@@ -723,6 +879,18 @@ def pfasst_rank_program(
                         ), "residual allreduce")
                     if worst <= config.residual_tol:
                         break
+                if checkpointer is not None and checkpointer.wants(k):
+                    # plain in-process call — no ops, no clock movement:
+                    # attaching a checkpointer keeps the run byte-identical
+                    checkpointer.contribute(rank, block, k, attempt, {
+                        "u_block": np.array(u_block, copy=True),
+                        "levels": snapshot_levels(levels),
+                        "residuals": list(residuals),
+                        "iterations_done": list(iterations_done),
+                        "total_iterations": list(total_iterations),
+                        "recoveries": [dict(r) for r in recoveries],
+                        "iters_attempted": iters_attempted,
+                    })
                 k += 1
 
             if finished_block:
@@ -773,6 +941,8 @@ def _grid_rank_program(
     spatial: Optional[Sequence[SpatialTransfer]],
     grid: SpaceTimeGrid,
     dispatch: Optional[DispatchContext] = None,
+    checkpointer: Optional[RunCheckpointer] = None,
+    resume: Optional[RunCheckpoint] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Rank program for the full P_T x P_S grid (paper Fig. 2).
 
@@ -780,12 +950,32 @@ def _grid_rank_program(
     :func:`pfasst_rank_program` over the time communicator with the space
     communicator sharding every RHS, then cross-checks that all space
     ranks of the row hold bitwise-identical end values.
+
+    With a recovery policy active the space comm is wrapped in an
+    :class:`~repro.parallel.simmpi.EpochComm` (restart-safe space
+    collectives: default timeouts on every receive, epoch-tagged
+    messages that restarts orphan) and a :class:`_GridRecovery` context
+    moves failure detection to the world communicator.  Only the
+    ``s = 0`` column contributes to a checkpointer — row state is
+    replicated bitwise, so one column describes the whole grid.
     """
     t_idx, s_idx = grid.coords(comm.rank)
     space = yield from comm.split(color=t_idx, key=s_idx)
     tcomm = yield from comm.split(color=s_idx, key=t_idx)
+    ft_grid = None
+    if config.recovery != "fail":
+        space = EpochComm(
+            space, timeout=config.recovery_timeout,
+            retries=config.recovery_retries,
+        )
+        ft_grid = _GridRecovery(
+            world=comm, grid=grid, space=space, t_idx=t_idx, s_idx=s_idx
+        )
     result = yield from pfasst_rank_program(
-        tcomm, config, specs, u0, spatial, space=space, dispatch=dispatch
+        tcomm, config, specs, u0, spatial, space=space, dispatch=dispatch,
+        ft_grid=ft_grid,
+        checkpointer=checkpointer if s_idx == 0 else None,
+        resume=resume,
     )
     # every member of a space row drives identical time logic over
     # identical full states, so end values must agree *bitwise* — any
@@ -802,6 +992,20 @@ def _grid_rank_program(
     result["space_rank"] = s_idx
     result["world_rank"] = comm.rank
     return result
+
+
+def _run_config_digest(
+    config: PfasstConfig, p_time: int, p_space: int
+) -> str:
+    """Stable digest binding a checkpoint to its run configuration.
+
+    A checkpoint resumed under a different config, ``p_time`` or
+    ``p_space`` cannot reproduce the uninterrupted run bitwise, so
+    ``run_pfasst(resume_from=...)`` rejects digest mismatches.
+    """
+    return hashlib.blake2b(
+        repr((config, p_time, p_space)).encode("utf-8"), digest_size=8
+    ).hexdigest()
 
 
 def _collect_evaluator_stats(
@@ -842,6 +1046,9 @@ def run_pfasst(
     p_space: int = 1,
     executor: Optional[ExecutionBackend] = None,
     certify: bool = False,
+    checkpoint: Optional[Any] = None,
+    checkpoint_interval: int = 1,
+    resume_from: Optional[Any] = None,
 ) -> PfasstResult:
     """Execute PFASST with ``p_time`` simulated time ranks.
 
@@ -853,8 +1060,23 @@ def run_pfasst(
     problems silently fall back to redundant serial evaluation).  The
     numerics are identical to ``p_space=1`` up to floating-point
     accumulation order (the run cross-checks that all space columns agree
-    bitwise with each other).  Fault injection is only supported at
-    ``p_space=1`` — the recovery protocol reasons about time ranks.
+    bitwise with each other).  Fault injection composes with the grid:
+    with ``config.recovery != "fail"`` failure detection runs over the
+    whole ``p_time * p_space`` world, warm restarts bitwise-resync every
+    space row from its lowest surviving member (rows that lost *all*
+    members are rebuilt from a column donor), and all space traffic is
+    epoch-tagged so a restart orphans stale ring messages.
+
+    ``checkpoint=`` (a path) writes a durable, versioned
+    :class:`~repro.pfasst.checkpoint.RunCheckpoint` every
+    ``checkpoint_interval`` iterations — atomic temp-file + fsync +
+    rename, CRC-protected; each write replaces the previous checkpoint.
+    ``resume_from=`` (a path or a loaded ``RunCheckpoint``) restarts a
+    killed run from its last checkpoint: the resumed run adopts the
+    level state bitwise, skips the completed blocks and iterations, and
+    reaches final u-blocks and residuals identical to an uninterrupted
+    run.  Resuming under a different config/``p_time``/``p_space`` is
+    rejected (digest mismatch).
 
     Set ``measure_compute=True`` (and a cost model) for speedup studies;
     leave it off for pure accuracy experiments, where virtual time is
@@ -897,10 +1119,16 @@ def run_pfasst(
     """
     check_positive("p_time", p_time)
     check_positive("p_space", p_space)
-    if p_space > 1 and fault_plan is not None:
+    if checkpoint_interval < 1:
         raise ValueError(
-            "fault injection is not supported on the space-time grid; "
-            "run with p_space=1"
+            f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+        )
+    if certify and resume_from is not None:
+        raise NotImplementedError(
+            "certify=True cannot be combined with resume_from=: a "
+            "determinism certificate's channel census covers a whole "
+            "run, but a resumed run executes only the tail — certify "
+            "the uninterrupted run instead"
         )
     scheduler = Scheduler(
         p_time * p_space, cost_model=cost_model,
@@ -913,11 +1141,35 @@ def run_pfasst(
         dispatch = DispatchContext(executor)
         for i, spec in enumerate(specs):
             dispatch.register(f"level{i}", spec.problem)
+    run_digest = _run_config_digest(config, p_time, p_space)
+    checkpointer: Optional[RunCheckpointer] = None
+    if checkpoint is not None:
+        checkpointer = RunCheckpointer(
+            checkpoint, p_time, interval=checkpoint_interval,
+            config_digest=run_digest,
+            metrics_source=lambda: scheduler.metrics.as_dict(),
+        )
+    resume: Optional[RunCheckpoint] = None
+    if resume_from is not None:
+        resume = (resume_from if isinstance(resume_from, RunCheckpoint)
+                  else RunCheckpoint.load(resume_from))
+        if resume.p_time != p_time:
+            raise ValueError(
+                f"checkpoint was written by a p_time={resume.p_time} run; "
+                f"cannot resume it with p_time={p_time}"
+            )
+        if resume.config_digest and resume.config_digest != run_digest:
+            raise ValueError(
+                "checkpoint config digest mismatch: the checkpoint was "
+                "written under a different (config, p_time, p_space); "
+                "resume with the original run configuration"
+            )
     if p_space > 1:
         grid = SpaceTimeGrid(p_time, p_space)
         results = scheduler.run(
             _grid_rank_program,
-            args=(config, specs, np.asarray(u0), spatial, grid, dispatch),
+            args=(config, specs, np.asarray(u0), spatial, grid, dispatch,
+                  checkpointer, resume),
         )
         # all space columns are bitwise-identical (checked inside the
         # program); report the s=0 column as the canonical one
@@ -925,7 +1177,8 @@ def run_pfasst(
     else:
         results = scheduler.run(
             pfasst_rank_program,
-            args=(config, specs, np.asarray(u0), spatial, None, dispatch),
+            args=(config, specs, np.asarray(u0), spatial, None, dispatch,
+                  None, checkpointer, resume),
         )
     by_rank = sorted(results, key=lambda r: r["rank"])
     return PfasstResult(

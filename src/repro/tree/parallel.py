@@ -43,6 +43,15 @@ for the full particle set (different GEMM paddings, different
 :class:`~repro.tree.evaluator.TreeEvaluator` to floating-point roundoff
 (relative ~1e-15 per call), not bitwise — the equivalence tests pin this
 down at fine and coarse theta.
+
+Fault tolerance: when the grid controller runs with a recovery policy
+(``PfasstConfig.recovery != "fail"``), the space communicator handed to
+:meth:`SpaceParallelTreeEvaluator.field_program` is an
+:class:`~repro.parallel.simmpi.EpochComm` — every tag used here is
+transparently namespaced by the current restart attempt, so branch and
+RHS traffic from an abandoned attempt can never alias live traffic.
+This module needs no changes for that: it addresses the comm it is
+given.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations

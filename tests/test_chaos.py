@@ -1,0 +1,109 @@
+"""Seeded chaos campaigns: determinism, soak correctness, CLI."""
+
+import json
+
+import pytest
+
+from repro.parallel.chaos import (
+    CampaignConfig,
+    CampaignReport,
+    TrialResult,
+    main,
+    run_campaign,
+)
+
+
+def _small(**kw):
+    kw.setdefault("seed", 3)
+    kw.setdefault("trials", 4)
+    return CampaignConfig(**kw)
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_replays_identically(self):
+        a = run_campaign(_small())
+        b = run_campaign(_small())
+        assert [t.to_dict() for t in a.trials] == [
+            t.to_dict() for t in b.trials
+        ]
+
+    def test_different_seed_changes_fault_sites(self):
+        a = run_campaign(_small(seed=3))
+        b = run_campaign(_small(seed=4))
+        sites_a = [(t.crash_rank, t.after_ops) for t in a.trials]
+        sites_b = [(t.crash_rank, t.after_ops) for t in b.trials]
+        assert sites_a != sites_b
+
+
+class TestCampaignSoak:
+    def test_small_campaign_is_ok(self):
+        """No correctness bug across a short randomized soak: every
+        trial either recovers to the baseline or aborts in one of the
+        documented-fatal windows."""
+        report = run_campaign(_small(trials=6))
+        assert report.ok, report.summary()
+        counts = report.counts()
+        assert counts.get("converged-differs", 0) == 0
+        assert counts.get("error", 0) == 0
+        assert counts.get("recovered", 0) >= 1
+
+    def test_kill_resume_trials_present(self):
+        report = run_campaign(_small(trials=4, kill_resume_every=2))
+        kinds = [t.kind for t in report.trials]
+        assert "kill-resume" in kinds and "crash" in kinds
+
+    def test_report_round_trips_through_json(self):
+        report = run_campaign(_small(trials=2))
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["ok"] == report.ok
+        assert len(blob["trials"]) == 2
+        assert blob["trials"][0]["outcome"] == report.trials[0].outcome
+
+
+class TestCampaignConfigValidation:
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            CampaignConfig(trials=0)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            CampaignConfig(executors=("serial", "threads"))
+
+    def test_negative_kill_resume_rejected(self):
+        with pytest.raises(ValueError, match="kill_resume_every"):
+            CampaignConfig(kill_resume_every=-1)
+
+
+class TestReportSummary:
+    def _fake(self, outcome):
+        report = CampaignReport(config=dict(seed=0, p_time=2, p_space=2))
+        report.trials.append(TrialResult(
+            trial=0, executor="serial", kind="crash", policy="cold-restart",
+            crash_rank=1, after_ops=9, outcome=outcome,
+        ))
+        return report
+
+    def test_ok_verdict(self):
+        report = self._fake("recovered")
+        assert report.ok
+        assert "verdict: OK" in report.summary()
+
+    def test_failure_listed_in_summary(self):
+        report = self._fake("converged-differs")
+        assert not report.ok
+        text = report.summary()
+        assert "verdict: FAILED" in text
+        assert "FAIL trial 0" in text
+
+
+class TestCli:
+    def test_cli_returns_zero_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        rc = main([
+            "--seed", "3", "--trials", "2", "--json", str(out),
+        ])
+        assert rc == 0
+        blob = json.loads(out.read_text())
+        assert blob["ok"] is True
+        assert len(blob["trials"]) == 2
+        assert "chaos campaign" in capsys.readouterr().out

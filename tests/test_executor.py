@@ -28,7 +28,7 @@ from repro.pfasst.controller import PfasstConfig, run_pfasst
 from repro.pfasst.level import LevelSpec
 from repro.tree.parallel import SpaceParallelTreeEvaluator
 from repro.vortex.particles import pack_state
-from repro.vortex.problem import VortexProblem
+from repro.vortex.problem import ODEProblem, VortexProblem
 
 
 def _specs(problem):
@@ -332,3 +332,101 @@ class TestDispatchContext:
         ex.register("k", object())
         with pytest.raises(ValueError, match="already registered"):
             ex.register("k", object())
+
+
+class _LinearTwin(ODEProblem):
+    """Serial-side problem numerically identical to :class:`_KillOnce`."""
+
+    matrix = np.array([[0.0, 1.0], [-4.0, -0.4]])
+
+    def rhs(self, t, u):
+        return self.matrix @ u
+
+
+class _KillOnce(ODEProblem):
+    """Payload whose first ``rhs`` call in the pool hard-kills its worker.
+
+    The sentinel file lives on disk, so the state survives the pool
+    respawn: the re-dispatched batch computes normally.  ``open(x)`` is
+    atomic-create, so exactly the first worker to arrive dies even when
+    several race.
+    """
+
+    matrix = np.array([[0.0, 1.0], [-4.0, -0.4]])
+
+    def __init__(self, sentinel):
+        self.sentinel = str(sentinel)
+
+    def rhs(self, t, u):
+        import os
+
+        try:
+            with open(self.sentinel, "x"):
+                pass
+        except FileExistsError:
+            return self.matrix @ u
+        os._exit(1)  # simulated worker death (SIGKILL analogue)
+
+
+class _AlwaysDies(ODEProblem):
+    """Payload that kills its worker on every call — retries exhaust."""
+
+    def rhs(self, t, u):
+        import os
+
+        os._exit(1)
+
+
+class TestWorkerLossResilience:
+    """A killed pool worker is respawned; the run completes with the
+    same numerics as the serial backend."""
+
+    def test_worker_death_recovered_and_numerics_match(self, tmp_path):
+        u0 = np.array([1.0, 2.0])
+        serial = run_pfasst(
+            _config(), _specs(_LinearTwin()), u0, p_time=2,
+            executor=SerialExecutor(),
+        )
+        prob = _KillOnce(tmp_path / "killed-once")
+        with ProcessExecutor(max_workers=2) as ex:
+            res = run_pfasst(
+                _config(), _specs(prob), u0, p_time=2, executor=ex,
+            )
+        assert _frozen(res) == _frozen(serial)
+        counters = res.metrics["counters"]
+        assert counters["executor.pool_restarts"] >= 1
+        assert counters["executor.redispatched_tasks"] >= 1
+        kinds = [e.kind for e in res.resilience.recovered]
+        assert "pool-respawn" in kinds
+        detail = next(
+            e.detail for e in res.resilience.recovered
+            if e.kind == "pool-respawn"
+        )
+        assert "re-dispatched" in detail
+
+    def test_retries_exhausted_raises(self, tmp_path):
+        """max_retries=0 turns the first worker death fatal."""
+        u0 = np.array([1.0, 2.0])
+        with ProcessExecutor(max_workers=1, max_retries=0) as ex:
+            with pytest.raises(RuntimeError, match="worker death"):
+                run_pfasst(
+                    _config(), _specs(_AlwaysDies()), u0, p_time=2,
+                    executor=ex,
+                )
+
+    def test_retry_parameters_validated(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ProcessExecutor(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ProcessExecutor(retry_backoff=-0.1)
+
+    def test_no_restart_leaves_counters_unset(self, linear_problem):
+        """Fault-free process runs carry no executor.pool_restarts key —
+        the metrics contract with SerialExecutor stays exact."""
+        u0 = np.array([1.0, 2.0])
+        with ProcessExecutor(max_workers=2) as ex:
+            res = run_pfasst(
+                _config(), _specs(linear_problem), u0, p_time=2,
+                executor=ex,
+            )
+        assert "executor.pool_restarts" not in res.metrics["counters"]

@@ -401,3 +401,158 @@ class TestReport:
         text = sched.resilience.summary()
         assert "injected" in text and "drop" in text and "retransmit" in text
         assert sched.resilience.recovery_cost > 0.0
+
+
+class TestReportSerialization:
+    """ResilienceReport.to_dict()/from_dict() JSON round trip."""
+
+    def _report_from_run(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, ("lvl", 0), 1.0)
+            else:
+                return (yield comm.recv(0, ("lvl", 0), timeout=0.5,
+                                        retries=1))
+
+        plan = FaultPlan(messages=(MessageFault(kind="drop"),))
+        sched = Scheduler(
+            2, cost_model=MODEL, measure_compute=False, fault_plan=plan
+        )
+        sched.run(prog)
+        return sched.resilience
+
+    def test_json_round_trip(self):
+        import json
+
+        report = self._report_from_run()
+        blob = json.dumps(report.to_dict())  # must be JSON-serializable
+        again = ResilienceReport.from_dict(json.loads(blob))
+        assert again.counts() == report.counts()
+        assert again.recovery_cost == report.recovery_cost
+        assert len(again.injected) == len(report.injected)
+        for a, b in zip(again.injected, report.injected):
+            assert (a.kind, a.rank, a.source, a.dest, a.tag, a.time) == \
+                (b.kind, b.rank, b.source, b.dest, b.tag, b.time)
+        assert again.rule_activations == report.rule_activations
+
+    def test_tuple_tags_survive_round_trip(self):
+        report = self._report_from_run()
+        tags = [e.tag for e in report.injected if e.tag is not None]
+        assert tags and all(isinstance(t, tuple) for t in tags)
+        again = ResilienceReport.from_dict(report.to_dict())
+        assert [e.tag for e in again.injected if e.tag is not None] == tags
+
+    def test_empty_report_round_trip(self):
+        again = ResilienceReport.from_dict(ResilienceReport().to_dict())
+        assert again.injected == [] and again.recovered == []
+        assert "no faults" in again.summary()
+
+
+class TestRuleActivations:
+    """Zero-activation accounting: rules that never fire are reported."""
+
+    def _run(self, plan, n_ranks=2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, ("lvl", 0), 1.0)
+                return 0
+            return (yield comm.recv(0, ("lvl", 0), timeout=0.5, retries=2))
+
+        sched = Scheduler(
+            n_ranks, cost_model=MODEL, measure_compute=False,
+            fault_plan=plan,
+        )
+        sched.run(prog)
+        return sched.resilience
+
+    def test_dormant_message_rule_reported(self):
+        plan = FaultPlan(messages=(
+            MessageFault(kind="drop", tag=("never-sent-tag",)),
+        ))
+        report = self._run(plan)
+        rows = report.rule_activations
+        assert len(rows) == 1
+        assert rows[0]["rule"] == "message[0]"
+        assert rows[0]["activations"] == 0
+        assert "dormant" in report.summary()
+
+    def test_dormant_crash_rule_reported(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=1, after_ops=10_000),))
+        report = self._run(plan)
+        rows = report.rule_activations
+        assert len(rows) == 1
+        assert rows[0]["rule"] == "crash[0]"
+        assert rows[0]["kind"] == "crash"
+        assert rows[0]["activations"] == 0
+        assert "never fired" in report.summary()
+
+    def test_fired_rules_counted(self):
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=1, after_ops=1),),
+            messages=(MessageFault(kind="drop"),),
+        )
+
+        def prog(comm):
+            try:
+                if comm.rank == 0:
+                    yield comm.send(1, ("lvl", 0), 1.0)
+                    return 0
+                return (yield comm.recv(0, ("lvl", 0), timeout=0.5,
+                                        retries=2))
+            except RankFailure:
+                return -1
+
+        sched = Scheduler(
+            2, cost_model=MODEL, measure_compute=False, fault_plan=plan
+        )
+        sched.run(prog)
+        rows = {r["rule"]: r for r in sched.resilience.rule_activations}
+        assert rows["crash[0]"]["activations"] == 1
+        assert rows["message[0]"]["activations"] >= 1
+        assert "dormant" not in sched.resilience.summary()
+
+    def test_mixed_plan_reports_only_dormant_rules_as_dormant(self):
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=1, after_ops=10_000),),
+            messages=(MessageFault(kind="drop"),),
+        )
+        report = self._run(plan)
+        rows = {r["rule"]: r["activations"] for r in report.rule_activations}
+        assert rows["crash[0]"] == 0
+        assert rows["message[0]"] >= 1
+        text = report.summary()
+        assert "dormant:   crash[0]" in text
+        assert "dormant:   message[0]" not in text
+
+
+class TestRecvArgumentValidation:
+    """recv(timeout=, retries=, backoff=) argument validation."""
+
+    def _run_single(self, **recv_kw):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, "t", 1.0)
+                return 0
+            return (yield comm.recv(0, "t", **recv_kw))
+
+        return Scheduler(2).run(prog)
+
+    def test_zero_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout must be > 0"):
+            self._run_single(timeout=0.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout must be > 0"):
+            self._run_single(timeout=-1.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries must be >= 0"):
+            self._run_single(timeout=1.0, retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="backoff must be >= 0"):
+            self._run_single(timeout=1.0, backoff=-0.5)
+
+    def test_valid_arguments_accepted(self):
+        assert self._run_single(timeout=1.0, retries=3, backoff=0.1) == \
+            [0, 1.0]

@@ -4,10 +4,14 @@ import numpy as np
 import pytest
 
 from repro.io import (
+    CheckpointCorruptionError,
+    atomic_write_bytes,
     load_particles,
     load_run_summary,
+    read_crc_container,
     save_particles,
     save_run_summary,
+    write_crc_container,
 )
 from repro.vortex import spherical_vortex_sheet
 from repro.vortex.sheet import SheetConfig
@@ -74,3 +78,84 @@ class TestRunSummaries:
     def test_unserialisable_rejected(self, tmp_path):
         with pytest.raises(TypeError):
             save_run_summary(tmp_path / "x.json", {"bad": object()})
+
+
+class TestDurability:
+    """Atomic-write + CRC hardening of the particle checkpoints."""
+
+    def _saved(self, tmp_path, n=20):
+        ps = spherical_vortex_sheet(SheetConfig(n=n))
+        return ps, save_particles(tmp_path / "state.npz", ps, time=1.5)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        ps, path = self._saved(tmp_path)
+        save_particles(path, ps, time=9.0)  # replaces in place
+        _, time, _ = load_particles(path)
+        assert time == 9.0
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_truncated_archive_reports_corruption(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CheckpointCorruptionError, match="truncated"):
+            load_particles(path)
+
+    def test_crc_mismatch_reports_corruption(self, tmp_path):
+        ps, path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["positions"] = arrays["positions"] + 1.0  # bytes change
+        np.savez_compressed(path, **arrays)  # stale stored crc
+        with pytest.raises(CheckpointCorruptionError, match="CRC"):
+            load_particles(path)
+
+    def test_v1_archive_without_crc_still_loads(self, tmp_path):
+        """Back-compat: pre-hardening checkpoints carry no crc entry."""
+        ps, path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files if k != "crc"}
+        arrays["format_version"] = np.int64(1)
+        np.savez_compressed(path, **arrays)
+        ps2, time, _ = load_particles(path)
+        assert time == 1.5
+        assert np.array_equal(ps2.positions, ps.positions)
+
+
+class TestCrcContainer:
+    MAGIC = b"TESTMAGIC1"
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        write_crc_container(path, self.MAGIC, b"payload-bytes")
+        assert read_crc_container(path, self.MAGIC) == b"payload-bytes"
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"TES")
+        with pytest.raises(CheckpointCorruptionError, match="truncated"):
+            read_crc_container(path, self.MAGIC)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        write_crc_container(path, b"OTHERMAGIC", b"payload")
+        with pytest.raises(CheckpointCorruptionError, match="truncated"):
+            read_crc_container(path, self.MAGIC)
+
+    def test_flipped_payload_bit_rejected(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        write_crc_container(path, self.MAGIC, b"payload-bytes")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptionError, match="CRC"):
+            read_crc_container(path, self.MAGIC)
+
+    def test_atomic_write_bytes_no_droppings(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"abc")
+        assert target.read_bytes() == b"abc"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]

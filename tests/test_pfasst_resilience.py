@@ -225,3 +225,111 @@ class TestLossyLinks:
         assert counts["corruption-detected"] == 1
         assert counts["retransmit"] == 1
         assert res.recoveries == []  # repaired below the algorithmic layer
+
+
+class TestGridRecovery:
+    """Grid-wide fault tolerance: recovery on the full P_T x P_S grid.
+
+    World ranks on the 2x2 grid are ``t * p_space + s``: rank 3 is the
+    space rank (t=1, s=1) — its loss must be detected by *every* column,
+    not just its own, because the columns couple through the space-row
+    collectives.
+    """
+
+    GRID_TOL = 10 * TOL
+
+    def _grid(self, problem, u0, **kw):
+        kw.setdefault("p_time", 2)
+        kw.setdefault("p_space", 2)
+        return run_pfasst(specs=_specs(problem), u0=u0, **kw)
+
+    @pytest.mark.parametrize("policy", ["cold-restart", "warm-restart"])
+    def test_space_rank_crash_recovers_to_fault_free_solution(
+        self, linear_problem, u0, policy
+    ):
+        """Acceptance: a seeded RankCrash on a space rank of a 2x2 run
+        recovers and converges back to the fault-free residuals."""
+        base = self._grid(linear_problem, u0, config=_config())
+        plan = FaultPlan(crashes=(RankCrash(rank=3, after_ops=20),))
+        res = self._grid(
+            linear_problem, u0,
+            config=_config(recovery=policy, recovery_timeout=2e-4),
+            fault_plan=plan,
+        )
+        assert np.abs(res.u_end - base.u_end).max() < self.GRID_TOL
+        assert res.residuals[-1][-1] < TOL
+        assert len(res.recoveries) == 1
+        rec = res.recoveries[0]
+        assert rec["policy"] == policy
+        assert rec["failed_ranks"] == [3]
+        assert rec["failed_time_ranks"] == [1]
+        counts = res.resilience.counts()
+        assert counts["crash"] == 1
+        assert counts["crash-handled"] == 1
+
+    def test_time_only_column_rank_crash_recovers(self, linear_problem, u0):
+        """A crash in the s=0 column (the one whose results are reported)
+        recovers the same way."""
+        base = self._grid(linear_problem, u0, config=_config())
+        plan = FaultPlan(crashes=(RankCrash(rank=2, after_ops=40),))
+        res = self._grid(
+            linear_problem, u0,
+            config=_config(recovery="warm-restart", recovery_timeout=2e-4),
+            fault_plan=plan,
+        )
+        assert np.abs(res.u_end - base.u_end).max() < self.GRID_TOL
+        assert res.recoveries[0]["failed_ranks"] == [2]
+        assert res.recoveries[0]["failed_time_ranks"] == [1]
+
+    def test_predictor_phase_crash_recovers_on_grid(self, linear_problem, u0):
+        base = self._grid(linear_problem, u0, config=_config())
+        plan = FaultPlan(crashes=(RankCrash(rank=3, after_ops=5),))
+        res = self._grid(
+            linear_problem, u0,
+            config=_config(recovery="cold-restart", recovery_timeout=2e-4),
+            fault_plan=plan,
+        )
+        assert res.recoveries[0]["phase"] == "predictor"
+        assert np.abs(res.u_end - base.u_end).max() < self.GRID_TOL
+
+    def test_grid_recovery_is_replay_stable(self, linear_problem, u0):
+        """verify=True re-runs under reversed service order: the injected
+        crash, the row resync and the epoch-tagged space traffic must all
+        replay to the same bytes."""
+        plan = FaultPlan(crashes=(RankCrash(rank=3, after_ops=20),))
+        res = self._grid(
+            linear_problem, u0,
+            config=_config(recovery="warm-restart", recovery_timeout=2e-4),
+            fault_plan=plan, verify=True,
+        )
+        assert len(res.recoveries) == 1
+
+    def test_fault_free_grid_with_policy_matches_plain_grid(
+        self, linear_problem, u0
+    ):
+        """Turning recovery on (EpochComm wrap, world detection) without
+        any faults must not change the numerics of a grid run."""
+        base = self._grid(linear_problem, u0, config=_config())
+        res = self._grid(
+            linear_problem, u0,
+            config=_config(recovery="warm-restart", recovery_timeout=2e-4),
+        )
+        assert freeze(res.u_end) == freeze(base.u_end)
+        assert freeze(res.residuals) == freeze(base.residuals)
+        assert res.recoveries == []
+
+    def test_p_space1_recovery_unchanged_by_grid_support(
+        self, linear_problem, u0
+    ):
+        """The grid extension leaves p_space=1 recovery byte-identical:
+        same recoveries dict shape (no grid keys), same numerics."""
+        rank, ops = ITER_CRASH[2]
+        plan = FaultPlan(crashes=(RankCrash(rank=rank, after_ops=ops),))
+        res = run_pfasst(
+            _config(recovery="warm-restart"), _specs(linear_problem), u0,
+            p_time=2, fault_plan=plan, verify=True,
+        )
+        assert "failed_time_ranks" not in res.recoveries[0]
+        assert sorted(res.recoveries[0]) == [
+            "attempt", "block", "failed_ranks", "k", "phase", "policy",
+        ]

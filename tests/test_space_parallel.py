@@ -213,12 +213,14 @@ class TestGridPfasst:
         assert any("branch_bytes{" in k
                    for k in res.metrics["counters"])
 
-    def test_grid_rejects_fault_plans(self):
-        from repro.parallel import FaultPlan, RankCrash
+    def test_grid_fault_plan_fail_policy_propagates(self):
+        """Fault plans now compose with the grid; ``recovery="fail"``
+        (the default) still lets the injected crash kill the run."""
+        from repro.parallel import FaultPlan, RankCrash, RankFailure
 
         u0, volumes = _vortex_setup()
         cfg = PfasstConfig(t0=0.0, t_end=0.05, n_steps=2, iterations=2)
         plan = FaultPlan(crashes=(RankCrash(rank=0, after_ops=5),))
-        with pytest.raises(ValueError, match="p_space"):
+        with pytest.raises(RankFailure):
             run_pfasst(cfg, _specs(volumes), u0, p_time=2, p_space=2,
                        fault_plan=plan)
