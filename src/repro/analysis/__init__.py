@@ -25,7 +25,11 @@ machine-checks both:
   determinism certificates);
 * :mod:`repro.analysis.sanitize` — opt-in NaN/Inf and shape/dtype
   contract decorators gated behind ``REPRO_SANITIZE=1``, compiled to
-  zero-overhead no-ops when the flag is unset.
+  zero-overhead no-ops when the flag is unset;
+* :mod:`repro.analysis.linkcheck` / :mod:`repro.analysis.clidoc` — docs
+  enforcement: offline verification of every internal markdown link,
+  and regeneration of ``docs/cli.md`` from the live ``--help`` output
+  of each console tool (CI fails when either drifts).
 
 See ``docs/static_analysis.md`` for the full rule catalogue.
 """

@@ -1,0 +1,245 @@
+"""Pluggable kernel-execution backends — the array-namespace seam.
+
+``BENCH_evaluator.json`` shows the near-field GEMM batches dominating a
+cold fine evaluation (~90%), and the batched far/near engine
+(:mod:`repro.tree.engine`) is already GEMM-shaped — exactly the form
+that ports unchanged to another array namespace (CuPy) or to a thread
+pool over independent batches.  This package provides the seam:
+
+* :class:`KernelBackend` — the contract.  A backend owns
+
+  - ``xp``: the array namespace the device-resident math runs in
+    (:mod:`numpy` for the CPU backends, :mod:`cupy` on the GPU);
+  - ``to_device`` / ``from_device``: the *only* sanctioned host/device
+    transfer points, called at the engine boundary (no other layer may
+    move arrays);
+  - ``map_batches``: the execution strategy for the engine's
+    write-disjoint near-field batch closures (serial loop, thread
+    pool, ...).
+
+* a registry (:func:`register_backend`, :func:`available_backends`,
+  :func:`usable_backends`) and per-run selection via
+  :func:`get_backend`: an explicit name wins, then the
+  ``REPRO_BACKEND`` environment variable, then the ``"numpy"``
+  reference backend.
+
+Three backends ship:
+
+``numpy``
+    Reference implementation — a serial loop over batches, byte-identical
+    to the pre-seam engine by construction (same operations, same order).
+``threaded``
+    stdlib ``ThreadPoolExecutor`` over the near-field batches.  Batches
+    write disjoint target rows and every batch is internally serial, so
+    the result is *bitwise identical* to ``numpy`` regardless of thread
+    scheduling; the GEMMs release the GIL, so batches genuinely overlap
+    on multi-core hosts.  Worker count: ``REPRO_BACKEND_THREADS`` or
+    ``os.cpu_count()``.
+``cupy``
+    Optional GPU backend (import-guarded; cleanly unavailable without
+    CuPy + a CUDA device).  The near-field pass runs on the device with
+    one host→device transfer of positions/charges per evaluation and one
+    device→host transfer of the accumulated outputs; tree build,
+    traversal and the far pass stay on the host.  **Not** bitwise
+    reproducible against the CPU backends (different GEMM reduction
+    order) — see ``docs/backends.md`` for the per-backend guarantees.
+
+Backends pickle as their registry name (``__reduce__``), so a
+:class:`~repro.tree.TreeEvaluator` configured with any backend survives
+dispatch into :class:`~repro.parallel.executor.ProcessExecutor` workers:
+each worker re-resolves the backend on arrival (and raises
+:class:`BackendUnavailableError` there if the worker host lacks the
+dependency).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "usable_backends",
+    "get_backend",
+]
+
+#: environment variable consulted when no explicit backend is given
+ENV_VAR = "REPRO_BACKEND"
+#: the reference backend every equivalence statement is anchored to
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailableError(ImportError):
+    """A registered backend cannot run in this environment.
+
+    Raised by :func:`get_backend` (and by backend resolution inside
+    executor workers) when the backend's dependency is missing or no
+    suitable hardware exists.  ``missing`` names the missing dependency
+    so the message is actionable (``pip install cupy-cuda12x``, run on a
+    GPU node, ...).
+    """
+
+    def __init__(self, backend: str, missing: str, hint: str = "") -> None:
+        self.backend = backend
+        self.missing = missing
+        msg = f"kernel backend {backend!r} is unavailable: {missing}"
+        if hint:
+            msg = f"{msg} — {hint}"
+        super().__init__(msg)
+
+
+class KernelBackend:
+    """Execution + residency strategy for the batched far/near engine.
+
+    Subclasses override the class attributes and whichever hooks differ
+    from the host-serial defaults.  Instances are registered singletons;
+    identity comparisons (``backend is get_backend("numpy")``) are valid
+    within a process, and pickling reduces to the registry name so the
+    same identity is re-established across process boundaries.
+    """
+
+    #: registry name (also the ``REPRO_BACKEND`` value)
+    name: str = "abstract"
+    #: ``"cpu"`` or ``"gpu"`` — drives the engine's residency decision
+    device: str = "cpu"
+
+    # -- availability ------------------------------------------------------
+    def missing_dependency(self) -> Optional[str]:
+        """Human-readable description of what is missing, or ``None``.
+
+        ``None`` means the backend is usable right now.  The check must
+        be cheap and side-effect free — it runs inside error messages
+        and ``usable_backends()``.
+        """
+        return None
+
+    @property
+    def available(self) -> bool:
+        """Whether the backend can run in this environment."""
+        return self.missing_dependency() is None
+
+    def require(self) -> "KernelBackend":
+        """Return ``self`` or raise :class:`BackendUnavailableError`."""
+        missing = self.missing_dependency()
+        if missing is not None:
+            raise BackendUnavailableError(self.name, missing, hint=self._hint())
+        return self
+
+    def _hint(self) -> str:
+        """Remediation hint appended to the unavailability error."""
+        return ""
+
+    # -- array namespace and transfer points -------------------------------
+    @property
+    def xp(self):
+        """The array namespace device-resident math runs in."""
+        return np
+
+    def to_device(self, a: np.ndarray):
+        """Move a host array to the backend's device (identity on CPU).
+
+        One of the two sanctioned transfer points; called by the engine
+        at the start of a device-resident pass, never from inner loops.
+        """
+        return a
+
+    def from_device(self, a) -> np.ndarray:
+        """Move a device array back to the host (identity on CPU)."""
+        return a
+
+    # -- execution strategy -------------------------------------------------
+    def map_batches(
+        self, fn: Callable[[np.ndarray], None], batches: Sequence[np.ndarray]
+    ) -> None:
+        """Run ``fn`` once per batch; batches must be write-disjoint.
+
+        The engine guarantees that distinct batches touch disjoint
+        output rows and share only read-only state, so any execution
+        order (or overlap) yields bitwise-identical results.  The base
+        implementation is the in-order serial loop.
+        """
+        for b in batches:
+            fn(b)
+
+    # -- introspection / plumbing ------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Diagnostic metadata (recorded into benchmark rows)."""
+        return {
+            "name": self.name,
+            "device": self.device,
+            "available": self.available,
+        }
+
+    def __reduce__(self):
+        # pickle as the registry name: executor workers re-resolve the
+        # backend (and surface BackendUnavailableError on *their* host)
+        return (get_backend, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name!r} ({self.device})>"
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register a backend instance under its ``name`` (last wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every *registered* backend (usable here or not)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def usable_backends() -> Tuple[str, ...]:
+    """Names of the registered backends usable in this environment."""
+    return tuple(n for n in available_backends() if _REGISTRY[n].available)
+
+
+def get_backend(
+    name: Union[str, KernelBackend, None] = None,
+) -> KernelBackend:
+    """Resolve a backend: explicit name > ``REPRO_BACKEND`` > ``numpy``.
+
+    Accepts a registry name, an already-resolved :class:`KernelBackend`
+    (validated and passed through), or ``None`` for the environment /
+    default resolution.  Raises :class:`BackendUnavailableError` when
+    the backend exists but cannot run here, and ``ValueError`` with the
+    valid names when the name (or a mis-set ``REPRO_BACKEND``) is
+    unknown.
+    """
+    if isinstance(name, KernelBackend):
+        return name.require()
+    source = "backend argument"
+    if name is None:
+        env = os.environ.get(ENV_VAR)
+        if env:
+            name, source = env, f"environment variable {ENV_VAR}"
+        else:
+            name = DEFAULT_BACKEND
+    key = str(name).strip().lower()
+    backend = _REGISTRY.get(key)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r} (from {source}); "
+            f"valid names: {', '.join(available_backends())}. "
+            f"Unset {ENV_VAR} or pass backend= explicitly to override."
+        )
+    return backend.require()
+
+
+# self-registering backend modules — import order fixes registry order
+from repro.backends.numpy_backend import NumpyBackend  # noqa: E402
+from repro.backends.threaded import ThreadedBackend  # noqa: E402
+from repro.backends.cupy_backend import CupyBackend  # noqa: E402
+
+__all__ += ["NumpyBackend", "ThreadedBackend", "CupyBackend"]

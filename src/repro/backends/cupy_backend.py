@@ -1,0 +1,93 @@
+"""Optional CuPy (GPU) backend — import-guarded, cleanly unavailable.
+
+Mirrors pySDC's CuPy deployment on JUWELS (space solver on the device,
+orchestration on the host): the engine keeps tree build, moments,
+traversal and the far pass on the host and runs the dominant near-field
+GEMM batches on the GPU through the CuPy array namespace, with exactly
+two transfer points per evaluation — :meth:`CupyBackend.to_device` for
+positions/charges/group geometry on entry, :meth:`CupyBackend.from_device`
+for the accumulated velocity/gradient on exit.
+
+Availability is probed lazily and never crashes an import: without CuPy
+(or without a visible CUDA device) the backend stays registered so it
+shows up in ``available_backends()`` and error messages, but
+``get_backend("cupy")`` raises :class:`~repro.backends.BackendUnavailableError`
+naming the missing piece.
+
+Determinism caveat: GPU GEMMs reduce in a different order than the CPU
+reference, so ``cupy`` results match ``numpy`` to rounding error, *not*
+bitwise — the equivalence tests compare it at theta tolerances, never
+byte-for-byte (see ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.backends import KernelBackend, register_backend
+
+__all__ = ["CupyBackend"]
+
+
+def _import_cupy():
+    """Import cupy or return ``None`` (never raises)."""
+    try:  # guarded optional dependency
+        import cupy  # type: ignore
+
+        return cupy
+    except Exception:
+        return None
+
+
+class CupyBackend(KernelBackend):
+    """GPU execution of the near-field pass through the CuPy namespace."""
+
+    name = "cupy"
+    device = "gpu"
+
+    def missing_dependency(self) -> Optional[str]:
+        cupy = _import_cupy()
+        if cupy is None:
+            return "the 'cupy' package is not importable"
+        try:
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                return "no CUDA device is visible"
+        except Exception as exc:  # driver present but broken
+            return f"CUDA runtime probe failed ({exc})"
+        return None
+
+    def _hint(self) -> str:
+        return (
+            "install cupy matching your CUDA toolkit (e.g. cupy-cuda12x) "
+            "and run on a host with a visible GPU; CPU runs should use "
+            "backend='numpy' or backend='threaded'"
+        )
+
+    @property
+    def xp(self):
+        cupy = _import_cupy()
+        if cupy is None:  # pragma: no cover - guarded by require()
+            self.require()
+        return cupy
+
+    def to_device(self, a: np.ndarray):
+        """Host → device copy (one of the two sanctioned transfer points)."""
+        return self.xp.asarray(a)
+
+    def from_device(self, a) -> np.ndarray:
+        """Device → host copy of an accumulated output block."""
+        return self.xp.asnumpy(a)
+
+    def describe(self) -> Dict[str, object]:  # pragma: no cover - needs GPU
+        info = super().describe()
+        cupy = _import_cupy()
+        info["cupy"] = getattr(cupy, "__version__", None) if cupy else None
+        if self.available:
+            dev = cupy.cuda.Device()
+            info["device_id"] = int(dev.id)
+        return info
+
+
+register_backend(CupyBackend())

@@ -1,0 +1,24 @@
+"""The NumPy reference backend — serial, host-resident, always usable.
+
+Every equivalence statement in the test suite is anchored to this
+backend: it executes the engine's batch closures with the in-order
+serial loop inherited from :class:`~repro.backends.KernelBackend`, so
+results are byte-identical to the pre-seam engine by construction.
+"""
+
+from __future__ import annotations
+
+
+from repro.backends import KernelBackend, register_backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Host-serial NumPy execution (the default and the reference)."""
+
+    name = "numpy"
+    device = "cpu"
+
+
+register_backend(NumpyBackend())
