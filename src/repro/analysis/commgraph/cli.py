@@ -54,7 +54,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
-def _smoke_problem(n: int, seed: int = 3):
+def _smoke_problem(n: int, seed: int = 3, sweeper: str = "gauss-seidel"):
     """The vortex-sheet smoke problem used by tests/test_space_parallel."""
     import numpy as np
 
@@ -71,7 +71,8 @@ def _smoke_problem(n: int, seed: int = 3):
                                     leaf_size=16)
     fine = VortexProblem(volumes, ev)
     coarse = fine.coarsened(0.6)
-    specs = [LevelSpec(fine, 3, sweeps=1), LevelSpec(coarse, 2, sweeps=1)]
+    specs = [LevelSpec(fine, 3, sweeps=1, sweeper=sweeper),
+             LevelSpec(coarse, 2, sweeps=1, sweeper=sweeper)]
     return pack_state(positions, vorticity), specs
 
 
@@ -79,7 +80,7 @@ def _certify_once(args: argparse.Namespace, backend: Optional[str]):
     from repro.parallel.executor import ProcessExecutor, SerialExecutor
     from repro.pfasst.controller import PfasstConfig, run_pfasst
 
-    u0, specs = _smoke_problem(args.particles)
+    u0, specs = _smoke_problem(args.particles, sweeper=args.sweeper)
     cfg = PfasstConfig(t0=0.0, t_end=0.05, n_steps=args.steps,
                        iterations=args.iterations)
     executor = None
@@ -90,6 +91,7 @@ def _certify_once(args: argparse.Namespace, backend: Optional[str]):
     try:
         result = run_pfasst(
             cfg, specs, u0, p_time=args.p_time, p_space=args.p_space,
+            p_nodes=args.p_nodes,
             executor=executor, verify=args.verify, certify=True,
         )
     finally:
@@ -183,6 +185,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "certificate")
     p_cert.add_argument("--p-time", type=int, default=2)
     p_cert.add_argument("--p-space", type=int, default=2)
+    p_cert.add_argument("--p-nodes", type=int, default=1,
+                        help="node ranks per (time, space) pair — "
+                             "certifies the P_T x P_S x P_N grid")
+    p_cert.add_argument("--sweeper",
+                        choices=["gauss-seidel", "diagonal"],
+                        default="gauss-seidel",
+                        help="SDC sweep used on both levels")
     p_cert.add_argument("--particles", type=int, default=96)
     p_cert.add_argument("--steps", type=int, default=2)
     p_cert.add_argument("--iterations", type=int, default=2)

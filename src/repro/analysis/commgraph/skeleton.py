@@ -72,7 +72,7 @@ COLLECTIVE_DEFAULT_TAGS: Dict[str, str] = {
 }
 
 #: names whose mention makes an expression rank-dependent
-_RANK_NAMES = {"rank", "me", "vrank", "world_rank", "t_idx", "s_idx"}
+_RANK_NAMES = {"rank", "me", "vrank", "world_rank", "t_idx", "s_idx", "n_idx"}
 
 
 # -- resolved tag values ----------------------------------------------------

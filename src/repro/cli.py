@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     sheet.add_argument("--theta", type=float, default=0.3)
     sheet.add_argument("--p-time", type=int, default=4,
                        help="time ranks (pfasst only)")
+    sheet.add_argument("--p-nodes", type=int, default=1,
+                       help="node ranks per time rank — the PFASST-ER "
+                       "third grid dimension (pfasst only)")
+    sheet.add_argument("--sweeper", default="gauss-seidel",
+                       choices=["gauss-seidel", "diagonal"],
+                       help="SDC sweep: sequential Gauss-Seidel or the "
+                       "node-parallel diagonal preconditioner")
     sheet.add_argument("--sigma-over-h", type=float, default=3.0)
     sheet.add_argument("--save", type=str, default=None,
                        help="write the final state to this .npz path")
@@ -54,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     speed.add_argument("-n", type=int, default=500)
     speed.add_argument("--steps", type=int, default=4)
     speed.add_argument("--p-times", type=int, nargs="+", default=[1, 2, 4])
+    speed.add_argument("--p-nodes", type=int, default=1,
+                       help="node ranks per time rank (PFASST-ER)")
+    speed.add_argument("--sweeper", default="gauss-seidel",
+                       choices=["gauss-seidel", "diagonal"])
 
     trace = sub.add_parser(
         "trace", help="summarize/export/gantt/diff trace files "
@@ -90,7 +101,8 @@ def _cmd_sheet(args: argparse.Namespace) -> int:
     config = SolverConfig(
         space=SpaceConfig(evaluator=args.evaluator, theta=args.theta),
         time=TimeConfig(method=args.method, t_end=args.t_end, dt=args.dt,
-                        p_time=args.p_time),
+                        p_time=args.p_time, p_nodes=args.p_nodes,
+                        sweeper=args.sweeper),
     )
     before = compute_diagnostics(ps).as_dict()
     result = SpaceTimeSolver(ps, sheet.sigma, config).run()
@@ -146,14 +158,19 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     base = sched.makespan
     print(f"alpha = {alpha:.3f} (cost ratio {ratio:.2f}); "
           f"serial SDC(4): {base:.2f}s")
+    if args.p_nodes > 1:
+        print(f"node dimension: P_N = {args.p_nodes} "
+              f"({args.sweeper} sweeps)")
     print(f"{'P_T':>4} {'speedup':>8} {'theory':>7}")
     for p_t in args.p_times:
         if args.steps % p_t:
             continue
         cfg = PfasstConfig(t0=0.0, t_end=args.steps * 0.5,
                            n_steps=args.steps, iterations=2)
-        specs = [LevelSpec(fine, 3, 1), LevelSpec(coarse, 2, 2)]
+        specs = [LevelSpec(fine, 3, 1, sweeper=args.sweeper),
+                 LevelSpec(coarse, 2, 2, sweeper=args.sweeper)]
         res = run_pfasst(cfg, specs, u0, p_time=p_t,
+                         p_nodes=args.p_nodes,
                          cost_model=CommCostModel(), measure_compute=True)
         theory = float(speedup_two_level(p_t, alpha, 4, 2, 2))
         print(f"{p_t:>4} {base / res.makespan:>8.2f} {theory:>7.2f}")

@@ -43,6 +43,10 @@ class TimeConfig:
 
     ``method="pfasst"`` maps to the paper's ``PFASST(X, Y, P_T)`` with
     ``X = iterations``, ``Y = coarse_sweeps``, ``P_T = p_time``.
+    ``p_nodes > 1`` adds the third grid dimension (PFASST-ER): each time
+    rank becomes a group of ``p_nodes`` ranks sharding the collocation
+    nodes; ``sweeper="diagonal"`` makes the sweep updates themselves
+    node-parallel.
     """
 
     method: Method = "sdc"
@@ -53,17 +57,22 @@ class TimeConfig:
     num_nodes: int = 3
     sweeps: int = 4
     node_type: str = "lobatto"
+    sweeper: str = "gauss-seidel"
     # PFASST
     iterations: int = 2
     coarse_nodes: int = 2
     coarse_sweeps: int = 2
     p_time: int = 4
+    p_nodes: int = 1
     residual_tol: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_in(
             "method", self.method, ("euler", "rk2", "rk3", "rk4", "sdc", "pfasst")
         )
+        check_in("sweeper", self.sweeper, ("gauss-seidel", "diagonal"))
+        if self.p_nodes < 1:
+            raise ValueError(f"p_nodes must be >= 1, got {self.p_nodes}")
         check_positive("dt", self.dt)
         if not self.t_end > self.t0:
             raise ValueError("t_end must be > t0")

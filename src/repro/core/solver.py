@@ -119,6 +119,7 @@ class SpaceTimeSolver:
                 sweeps=tc.sweeps,
                 node_type=tc.node_type,
                 residual_tol=tc.residual_tol,
+                sweeper=tc.sweeper,
             )
             u_end = stepper.run(u0, tc.t0, tc.t_end, tc.dt, callback)
         elif tc.method == "pfasst":
@@ -131,11 +132,13 @@ class SpaceTimeSolver:
             )
             specs = [
                 LevelSpec(self.problem, num_nodes=tc.num_nodes, sweeps=1,
-                          node_type=tc.node_type),
+                          node_type=tc.node_type, sweeper=tc.sweeper),
                 LevelSpec(self.coarse_problem, num_nodes=tc.coarse_nodes,
-                          sweeps=tc.coarse_sweeps, node_type=tc.node_type),
+                          sweeps=tc.coarse_sweeps, node_type=tc.node_type,
+                          sweeper=tc.sweeper),
             ]
-            result = run_pfasst(cfg, specs, u0, p_time=tc.p_time)
+            result = run_pfasst(cfg, specs, u0, p_time=tc.p_time,
+                                p_nodes=tc.p_nodes)
             u_end = result.u_end
             residuals = result.residuals
         else:  # pragma: no cover - guarded by config validation

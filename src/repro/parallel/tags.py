@@ -62,6 +62,9 @@ __all__ = [
     "SPACE_BRX",
     "SPACE_RHS",
     "SPACE_DIGEST",
+    # -- node-parallel sweeps (PFASST-ER) --
+    "NODE_F",
+    "NODE_DIGEST",
     # -- collective sub-phase defaults --
     "BCAST",
     "REDUCE",
@@ -231,6 +234,17 @@ SPACE_RHS = register(
 )
 SPACE_DIGEST = register(
     "space:digest", "space", None, "cross-column end-value digest allgather"
+)
+
+# node-parallel sweeps (repro/sdc/sweeper.py evaluate_node_values + the
+# 3D grid program) — the PFASST-ER per-node sub-comm traffic
+NODE_F = register(
+    "node:f", "node", None,
+    "per-node-slice RHS allgather over the PFASST-ER node comm"
+)
+NODE_DIGEST = register(
+    "node:digest", "node", None,
+    "cross-node-rank end-value digest allgather"
 )
 
 # collective sub-phase defaults (repro/parallel/collectives.py) — callers

@@ -1,4 +1,4 @@
-"""Space-time process topology (paper Fig. 2).
+"""Space-time(-node) process topology (paper Fig. 2 + PFASST-ER).
 
 A run with ``P_T`` time slices and ``P_S`` spatial ranks per slice uses a
 ``P_T x P_S`` grid of processes.  Each process belongs to exactly two
@@ -6,6 +6,13 @@ communicators: a *space* communicator (one PEPC instance, row of the grid)
 and a *time* communicator (the i-th member of every PEPC instance, column
 of the grid).  These helpers map between world ranks and grid coordinates
 and enumerate the communicator memberships.
+
+:class:`SpaceTimeNodeGrid` adds PFASST-ER's third dimension: ``P_N`` node
+ranks per time-space cell share the collocation nodes of that cell's SDC
+sweeps (diagonal sweeper, one *node* communicator per cell).  The layout
+is time-major then space-major then node:
+``r = (t * p_space + s) * p_nodes + n``, so a ``p_nodes = 1`` grid has
+exactly the 2D rank numbering.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-__all__ = ["SpaceTimeGrid"]
+__all__ = ["SpaceTimeGrid", "SpaceTimeNodeGrid"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,91 @@ class SpaceTimeGrid:
         """World ranks sharing this rank's PFASST (time) communicator."""
         _, s = self.coords(world_rank)
         return [self.world_rank(t, s) for t in range(self.p_time)]
+
+    def time_row(self, time_slice: int) -> List[int]:
+        """All world ranks of one time slice (the recovery resync unit)."""
+        if not 0 <= time_slice < self.p_time:
+            raise ValueError(f"time_slice {time_slice} out of range")
+        return [self.world_rank(time_slice, s) for s in range(self.p_space)]
+
+    def _check(self, world_rank: int) -> None:
+        if not 0 <= world_rank < self.world_size:
+            raise ValueError(
+                f"world rank {world_rank} out of range 0..{self.world_size - 1}"
+            )
+
+
+@dataclass(frozen=True)
+class SpaceTimeNodeGrid:
+    """Cartesian decomposition into (time, space, node) coordinates.
+
+    Extends :class:`SpaceTimeGrid` with PFASST-ER's node dimension: each
+    ``(t, s)`` cell holds ``p_nodes`` ranks that share the diagonal
+    sweeper's node-parallel RHS evaluations.  World rank layout is
+    ``r = (t * p_space + s) * p_nodes + n`` — time-major, then space,
+    then node — so the ``p_nodes = 1`` numbering coincides with the 2D
+    grid's.
+    """
+
+    p_time: int
+    p_space: int
+    p_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.p_time < 1 or self.p_space < 1 or self.p_nodes < 1:
+            raise ValueError(
+                "grid extents must be >= 1, got "
+                f"({self.p_time}, {self.p_space}, {self.p_nodes})"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.p_time * self.p_space * self.p_nodes
+
+    def coords(self, world_rank: int) -> Tuple[int, int, int]:
+        """Return ``(time_slice, space_index, node_index)``."""
+        self._check(world_rank)
+        cell, n = divmod(world_rank, self.p_nodes)
+        t, s = divmod(cell, self.p_space)
+        return t, s, n
+
+    def world_rank(
+        self, time_slice: int, space_index: int, node_index: int
+    ) -> int:
+        if not 0 <= time_slice < self.p_time:
+            raise ValueError(f"time_slice {time_slice} out of range")
+        if not 0 <= space_index < self.p_space:
+            raise ValueError(f"space_index {space_index} out of range")
+        if not 0 <= node_index < self.p_nodes:
+            raise ValueError(f"node_index {node_index} out of range")
+        return (
+            time_slice * self.p_space + space_index
+        ) * self.p_nodes + node_index
+
+    def space_comm(self, world_rank: int) -> List[int]:
+        """Ranks sharing this rank's PEPC (space) communicator."""
+        t, _, n = self.coords(world_rank)
+        return [self.world_rank(t, s, n) for s in range(self.p_space)]
+
+    def time_comm(self, world_rank: int) -> List[int]:
+        """Ranks sharing this rank's PFASST (time) communicator."""
+        _, s, n = self.coords(world_rank)
+        return [self.world_rank(t, s, n) for t in range(self.p_time)]
+
+    def node_comm(self, world_rank: int) -> List[int]:
+        """Ranks sharing this rank's PFASST-ER node communicator."""
+        t, s, _ = self.coords(world_rank)
+        return [self.world_rank(t, s, n) for n in range(self.p_nodes)]
+
+    def time_row(self, time_slice: int) -> List[int]:
+        """All world ranks of one time slice (the recovery resync unit)."""
+        if not 0 <= time_slice < self.p_time:
+            raise ValueError(f"time_slice {time_slice} out of range")
+        return [
+            self.world_rank(time_slice, s, n)
+            for s in range(self.p_space)
+            for n in range(self.p_nodes)
+        ]
 
     def _check(self, world_rank: int) -> None:
         if not 0 <= world_rank < self.world_size:

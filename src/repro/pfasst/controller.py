@@ -66,7 +66,7 @@ from repro.parallel.simmpi import (
     Scheduler,
     VirtualComm,
 )
-from repro.parallel.topology import SpaceTimeGrid
+from repro.parallel.topology import SpaceTimeGrid, SpaceTimeNodeGrid
 from repro.pfasst.checkpoint import (
     RunCheckpoint,
     RunCheckpointer,
@@ -76,7 +76,7 @@ from repro.pfasst.checkpoint import (
 from repro.pfasst.fas import fas_correction
 from repro.pfasst.level import Level, LevelSpec
 from repro.pfasst.transfer import SpatialTransfer, TimeSpaceTransfer
-from repro.sdc.sweeper import evaluate_rhs
+from repro.sdc.sweeper import evaluate_node_values, evaluate_rhs
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -244,20 +244,43 @@ def _merge_status(a, b):
 class _GridRecovery:
     """Grid-recovery context threaded into :func:`pfasst_rank_program`.
 
-    Present only when ``p_space > 1`` and a recovery policy is active:
-    failure detection then runs over the *world* communicator (a crash
-    in one space column must be visible to every column — the columns
-    share space-row collectives), and all space traffic flows through an
-    :class:`~repro.parallel.simmpi.EpochComm` whose epoch the controller
-    bumps on every restart, orphaning in-flight ring messages from the
-    aborted attempt.
+    Present only when ``p_space > 1`` (or ``p_nodes > 1``) and a recovery
+    policy is active: failure detection then runs over the *world*
+    communicator (a crash in one space column must be visible to every
+    column — the columns share space-row collectives), and all space
+    traffic flows through an :class:`~repro.parallel.simmpi.EpochComm`
+    whose epoch the controller bumps on every restart, orphaning
+    in-flight ring messages from the aborted attempt.
+
+    ``grid`` may be a :class:`SpaceTimeGrid` or a
+    :class:`SpaceTimeNodeGrid` — the protocol only needs ``coords``
+    (time slice first) and ``time_row``.  ``space`` is the comm the
+    row-resync broadcast runs over (the whole time-slice plane on the
+    3D grid) and ``row_index`` this rank's position in
+    ``grid.time_row(t_idx)`` (defaults to ``s_idx``, the 2D layout).
+    ``epoch_comms`` lists further epoch-tagged comms (the 3D grid's
+    evaluation-space and node comms) bumped alongside ``space`` by
+    :meth:`bump`.
     """
 
     world: VirtualComm
-    grid: SpaceTimeGrid
+    grid: Any
     space: EpochComm
     t_idx: int
     s_idx: int
+    row_index: Optional[int] = None
+    epoch_comms: Tuple[EpochComm, ...] = ()
+
+    @property
+    def row_pos(self) -> int:
+        """This rank's index within ``grid.time_row(t_idx)``."""
+        return self.s_idx if self.row_index is None else self.row_index
+
+    def bump(self) -> None:
+        """Advance every epoch comm, orphaning the aborted attempt."""
+        self.space.epoch += 1
+        for c in self.epoch_comms:
+            c.epoch += 1
 
 
 def pfasst_rank_program(
@@ -271,6 +294,7 @@ def pfasst_rank_program(
     ft_grid: Optional[_GridRecovery] = None,
     checkpointer: Optional[RunCheckpointer] = None,
     resume: Optional[RunCheckpoint] = None,
+    node: Optional[VirtualComm] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Rank program executing PFASST on one time rank.
 
@@ -312,6 +336,17 @@ def pfasst_rank_program(
     member before column donors rebuild fully-lost rows, and the space
     comm's epoch is bumped on each restart so in-flight ring traffic
     from the aborted attempt is orphaned.
+
+    ``node`` optionally attaches a PFASST-ER node communicator (one per
+    time-space cell of the 3D grid): multi-node RHS evaluation rounds —
+    the diagonal sweeper's inner/final rounds and the controller's
+    restriction/interpolation re-evaluations — then shard the collocation
+    nodes over its ranks and reassemble ``F`` with a ring allgather
+    (:func:`repro.sdc.sweeper.evaluate_node_values`).  The sharding is
+    bitwise-neutral: each node's RHS is computed exactly once, on one
+    rank, from the same inputs, so a ``node`` of size 1 (or ``None``)
+    and any ``p_nodes > 1`` agree bitwise under the Gauss-Seidel
+    sweeper.
 
     ``checkpointer`` / ``resume`` attach durable checkpoint/restart
     (:mod:`repro.pfasst.checkpoint`): contributions are plain in-process
@@ -359,18 +394,38 @@ def pfasst_rank_program(
     recoveries: List[Dict[str, Any]] = []
 
     # ---- helpers (closures over the hierarchy) -------------------------
+    def _sweep_u0(level, explicit):
+        """The ``u0`` a sweep call must carry.
+
+        The controller's sites pass ``None`` whenever node 0 already
+        holds the current initial value — correct for the Gauss-Seidel
+        sweeper on left-including families (and byte-identical to the
+        historical call pattern).  Sweepers that *need* ``u0`` on every
+        call (diagonal sweeper; Gauss-Seidel on non-left families,
+        where node 0 is a genuine unknown) get the level's tracked
+        initial value instead.
+        """
+        if explicit is not None:
+            return explicit
+        return level.u0 if level.sweeper.needs_u0 else None
+
     def _interpolate_up(t_slice: float):
         """Fill the finer levels from the coarsest (predictor epilogue)."""
         for lev in range(n_levels - 2, -1, -1):
             tr = transfers[lev]
             fine, coarse = levels[lev], levels[lev + 1]
             fine.U = tr.interpolate_nodes(coarse.U)
-            fine.u0 = fine.U[0].copy()
+            if fine.rule.node_set.includes_left:
+                fine.u0 = fine.U[0].copy()
+            else:
+                # node 0 is interior: the initial value is not a node
+                # value, interpolate it from the coarse level's directly
+                fine.u0 = tr.interpolate_state(coarse.u0)
             # interpolated F[0] is approximate: the next sweep must
             # re-evaluate it from u0 (dirty flag)
             fine.u0_dirty = True
             if config.reeval_after_interp:
-                fine.F = yield from _evaluate_all(fine, t_slice, dt, space, dispatch)
+                fine.F = yield from _evaluate_all(fine, t_slice, dt, space, dispatch, node)
             else:
                 fine.F = tr.interpolate_nodes(coarse.F)
             fine.tau = None
@@ -378,7 +433,8 @@ def pfasst_rank_program(
     def _predictor(block, attempt, t_slice, u0_by_level):
         coarsest.u0 = u0_by_level[-1]
         coarsest.U, coarsest.F = yield from coarsest.sweeper.initialize_gen(
-            t_slice, dt, coarsest.u0, "spread", space=space, dispatch=dispatch
+            t_slice, dt, coarsest.u0, "spread", space=space, dispatch=dispatch,
+            node=node,
         )
         for j in range(rank + 1):
             new_u0 = None
@@ -391,7 +447,9 @@ def pfasst_rank_program(
             if config.trace:
                 yield comm.annotate(f"begin:predict:{j}")
             coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
-                t_slice, dt, coarsest.U, coarsest.F, u0=new_u0, space=space, dispatch=dispatch
+                t_slice, dt, coarsest.U, coarsest.F,
+                u0=_sweep_u0(coarsest, new_u0), space=space, dispatch=dispatch,
+                node=node,
             )
             if config.trace:
                 yield comm.annotate(f"end:predict:{j}")
@@ -415,7 +473,8 @@ def pfasst_rank_program(
                 pass_u0 = level.u0 if (s == 0 and level.u0_dirty) else None
                 level.U, level.F = yield from level.sweeper.sweep_gen(
                     t_slice, dt, level.U, level.F,
-                    u0=pass_u0, tau=tau, space=space, dispatch=dispatch,
+                    u0=_sweep_u0(level, pass_u0), tau=tau, space=space,
+                    dispatch=dispatch, node=node,
                 )
             level.u0_dirty = False
             if config.trace:
@@ -433,7 +492,7 @@ def pfasst_rank_program(
             coarse.U = tr.restrict_nodes(level.U)
             coarse.U_at_restriction = coarse.U.copy()
             coarse.u0 = tr.restrict_state(level.u0)
-            coarse.F = yield from _evaluate_all(coarse, t_slice, dt, space, dispatch)
+            coarse.F = yield from _evaluate_all(coarse, t_slice, dt, space, dispatch, node)
             coarse.F_at_restriction = coarse.F.copy()
             coarse.tau = fas_correction(
                 dt, tr, level.F, coarse.F,
@@ -456,7 +515,8 @@ def pfasst_rank_program(
         for s in range(coarsest.spec.sweeps):
             coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
                 t_slice, dt, coarsest.U, coarsest.F,
-                u0=new_u0 if s == 0 else None, tau=coarsest.tau, space=space, dispatch=dispatch,
+                u0=_sweep_u0(coarsest, new_u0 if s == 0 else None),
+                tau=coarsest.tau, space=space, dispatch=dispatch, node=node,
             )
         if config.trace:
             yield comm.annotate(f"end:sweep:L{n_levels - 1}:k{k}")
@@ -476,7 +536,7 @@ def pfasst_rank_program(
                 coarse.U - coarse.U_at_restriction
             )
             if config.reeval_after_interp:
-                level.F = yield from _evaluate_all(level, t_slice, dt, space, dispatch)
+                level.F = yield from _evaluate_all(level, t_slice, dt, space, dispatch, node)
             else:
                 # correct F by the interpolated increment of the
                 # coarse evaluations since restriction
@@ -496,18 +556,22 @@ def pfasst_rank_program(
                 level.u0_dirty = True
             else:
                 level.u0 = u0_by_level[lev]
-            level.U[0] = level.u0
+            if level.rule.node_set.includes_left:
+                level.U[0] = level.u0
             # intermediate levels sweep once more on the way up
             if 0 < lev:
                 pass_u0 = level.u0 if level.u0_dirty else None
                 level.U, level.F = yield from level.sweeper.sweep_gen(
                     t_slice, dt, level.U, level.F,
-                    u0=pass_u0, tau=level.tau, space=space, dispatch=dispatch,
+                    u0=_sweep_u0(level, pass_u0), tau=level.tau, space=space,
+                    dispatch=dispatch, node=node,
                 )
                 level.u0_dirty = False
-            elif config.reeval_after_interp and not level.u0_dirty:
+            elif (config.reeval_after_interp and not level.u0_dirty
+                  and level.rule.node_set.includes_left):
                 # keep the literal-Algorithm-1 mode's F fully
-                # consistent at node 0 as well
+                # consistent at node 0 as well (node 0 *is* u0 only for
+                # left-including families)
                 level.F[0] = yield from evaluate_rhs(
                     level.problem, space, t_slice, level.u0,
                     dispatch=dispatch,
@@ -569,11 +633,9 @@ def pfasst_rank_program(
 
     def _fully_dead_rows(failed):
         """Time ranks whose *entire* space row crashed (grid only)."""
-        p_space = ft_grid.grid.p_space
         dead = []
         for t in _failed_time_ranks(failed):
-            row = {t * p_space + s for s in range(p_space)}
-            if row <= set(failed):
+            if set(ft_grid.grid.time_row(t)) <= set(failed):
                 dead.append(t)
         return tuple(dead)
 
@@ -585,22 +647,23 @@ def pfasst_rank_program(
         diverged from each other mid-V-cycle; every row therefore
         adopts the level state of its lowest non-crashed member.  A row
         with *no* surviving member resets instead — it is rebuilt from
-        a column donor by ``_warm_rebuild``.
+        a column donor by ``_warm_rebuild``.  On the 3D grid the "row"
+        is the whole time-slice plane (``p_space * p_nodes`` ranks) and
+        ``ft_grid.space`` the plane comm.
         """
-        p_space = ft_grid.grid.p_space
-        row = [ft_grid.t_idx * p_space + s for s in range(p_space)]
-        alive_s = [s for s, w in enumerate(row) if w not in failed]
+        row = ft_grid.grid.time_row(ft_grid.t_idx)
+        alive_s = [i for i, w in enumerate(row) if w not in failed]
         if not alive_s:
             for lv in levels:
                 lv.reset()
             return
         root = alive_s[0]
-        blob = snapshot_levels(levels) if ft_grid.s_idx == root else None
+        blob = snapshot_levels(levels) if ft_grid.row_pos == root else None
         blob = yield from _protocol(bcast(
             ft_grid.space, blob, root=root,
             tag=(tags.FTROW, block, attempt), timeout=rt, retries=rr,
         ), "row-resync broadcast")
-        if ft_grid.s_idx != root:
+        if ft_grid.row_pos != root:
             adopt_levels(levels, blob)
 
     def _survivors(failed):
@@ -679,14 +742,16 @@ def pfasst_rank_program(
             u0s.append(tr.restrict_state(u0s[-1]))
         coarsest.u0 = u0s[-1]
         coarsest.U, coarsest.F = yield from coarsest.sweeper.initialize_gen(
-            t_slice, dt, coarsest.u0, "spread", space=space, dispatch=dispatch
+            t_slice, dt, coarsest.u0, "spread", space=space, dispatch=dispatch,
+            node=node,
         )
         if config.trace:
             yield comm.annotate("begin:warm-rebuild")
         for s in range(coarsest.spec.sweeps):
             coarsest.U, coarsest.F = yield from coarsest.sweeper.sweep_gen(
                 t_slice, dt, coarsest.U, coarsest.F,
-                u0=coarsest.u0 if s == 0 else None, space=space, dispatch=dispatch,
+                u0=_sweep_u0(coarsest, coarsest.u0 if s == 0 else None),
+                space=space, dispatch=dispatch, node=node,
             )
         if config.trace:
             yield comm.annotate("end:warm-rebuild")
@@ -763,9 +828,9 @@ def pfasst_rank_program(
                             attempt, block, failed, "predictor"
                         )
                         if ft_grid is not None:
-                            # orphan in-flight space-ring traffic from
-                            # the aborted attempt
-                            ft_grid.space.epoch += 1
+                            # orphan in-flight space/node-ring traffic
+                            # from the aborted attempt
+                            ft_grid.bump()
                         recoveries.append(_recovery_entry(
                             block, attempt, "predictor", None, failed
                         ))
@@ -824,9 +889,9 @@ def pfasst_rank_program(
                             attempt, block, failed, "iteration"
                         )
                         if ft_grid is not None:
-                            # orphan in-flight space-ring traffic from
-                            # the aborted attempt
-                            ft_grid.space.epoch += 1
+                            # orphan in-flight space/node-ring traffic
+                            # from the aborted attempt
+                            ft_grid.bump()
                         recoveries.append(_recovery_entry(
                             block, attempt, "iteration", k, failed
                         ))
@@ -922,15 +987,19 @@ def _evaluate_all(
     level: Level, t_slice: float, dt: float,
     space: Optional[VirtualComm] = None,
     dispatch: Optional[DispatchContext] = None,
+    node: Optional[VirtualComm] = None,
 ) -> Generator[Any, Any, np.ndarray]:
-    """Evaluate the level's RHS at every collocation node (generator)."""
+    """Evaluate the level's RHS at every collocation node (generator).
+
+    With a live ``node`` comm the nodes shard over its ranks and ``F``
+    is reassembled by allgather; without one this is the historical
+    plain loop with an identical op stream.
+    """
     times = level.sweeper.node_times(t_slice, dt)
-    F = []
-    for t, u in zip(times, level.U):
-        F.append((yield from evaluate_rhs(
-            level.problem, space, t, u, dispatch=dispatch
-        )))
-    return np.stack(F, axis=0)
+    return (yield from evaluate_node_values(
+        level.problem, times, level.U, space=space, node=node,
+        dispatch=dispatch,
+    ))
 
 
 def _grid_rank_program(
@@ -994,17 +1063,107 @@ def _grid_rank_program(
     return result
 
 
+def _node_grid_rank_program(
+    comm: VirtualComm,
+    config: PfasstConfig,
+    specs: Sequence[LevelSpec],
+    u0: np.ndarray,
+    spatial: Optional[Sequence[SpatialTransfer]],
+    grid: SpaceTimeNodeGrid,
+    dispatch: Optional[DispatchContext] = None,
+    checkpointer: Optional[RunCheckpointer] = None,
+    resume: Optional[RunCheckpoint] = None,
+) -> Generator[Any, Any, Dict[str, Any]]:
+    """Rank program for the P_T x P_S x P_N grid (PFASST-ER).
+
+    Splits the world into this rank's space row (vary ``s``), time
+    column (vary ``t``) and node group (vary ``n``), then runs
+    :func:`pfasst_rank_program` over the time comm with the space comm
+    sharding tree evaluations and the node comm sharding collocation
+    nodes across multi-node evaluation rounds.  All members of a time
+    slice drive identical time logic over identical full states, so
+    after the run the end values are cross-checked bitwise both across
+    the space row and across the node group.
+
+    With a recovery policy active the space and node comms are wrapped
+    in :class:`~repro.parallel.simmpi.EpochComm` and a fourth split
+    builds the *plane* comm — all ``p_space * p_nodes`` ranks of this
+    time slice — which takes the row-resync role ``_row_resync`` plays
+    on the 2D grid.  Only the ``(s, n) = (0, 0)`` member of each slice
+    contributes to a checkpointer.
+    """
+    t_idx, s_idx, n_idx = grid.coords(comm.rank)
+    space = yield from comm.split(color=(t_idx, n_idx), key=s_idx)
+    tcomm = yield from comm.split(color=(s_idx, n_idx), key=t_idx)
+    node = yield from comm.split(color=(t_idx, s_idx), key=n_idx)
+    ft_grid = None
+    if config.recovery != "fail":
+        space = EpochComm(
+            space, timeout=config.recovery_timeout,
+            retries=config.recovery_retries,
+        )
+        node = EpochComm(
+            node, timeout=config.recovery_timeout,
+            retries=config.recovery_retries,
+        )
+        plane = yield from comm.split(
+            color=t_idx, key=s_idx * grid.p_nodes + n_idx
+        )
+        plane = EpochComm(
+            plane, timeout=config.recovery_timeout,
+            retries=config.recovery_retries,
+        )
+        ft_grid = _GridRecovery(
+            world=comm, grid=grid, space=plane, t_idx=t_idx, s_idx=s_idx,
+            row_index=s_idx * grid.p_nodes + n_idx,
+            epoch_comms=(space, node),
+        )
+    result = yield from pfasst_rank_program(
+        tcomm, config, specs, u0, spatial,
+        space=space if grid.p_space > 1 else None,
+        dispatch=dispatch, ft_grid=ft_grid,
+        checkpointer=checkpointer if (s_idx == 0 and n_idx == 0) else None,
+        resume=resume,
+        node=node,
+    )
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(result["end_value"]).tobytes(), digest_size=16
+    ).hexdigest()
+    if grid.p_space > 1:
+        digests = yield from allgather(space, digest, tag=tags.SPACE_DIGEST)
+        if len(set(digests)) != 1:
+            raise RuntimeError(
+                f"space row (t={t_idx}, n={n_idx}) diverged across its "
+                f"{space.size} ranks: end-value digests {digests}"
+            )
+    ndigests = yield from allgather(node, digest, tag=tags.NODE_DIGEST)
+    if len(set(ndigests)) != 1:
+        raise RuntimeError(
+            f"node group (t={t_idx}, s={s_idx}) diverged across its "
+            f"{node.size} ranks: end-value digests {ndigests}"
+        )
+    result["space_rank"] = s_idx
+    result["node_rank"] = n_idx
+    result["world_rank"] = comm.rank
+    return result
+
+
 def _run_config_digest(
-    config: PfasstConfig, p_time: int, p_space: int
+    config: PfasstConfig, p_time: int, p_space: int, p_nodes: int = 1
 ) -> str:
     """Stable digest binding a checkpoint to its run configuration.
 
-    A checkpoint resumed under a different config, ``p_time`` or
-    ``p_space`` cannot reproduce the uninterrupted run bitwise, so
-    ``run_pfasst(resume_from=...)`` rejects digest mismatches.
+    A checkpoint resumed under a different config, ``p_time``,
+    ``p_space`` or ``p_nodes`` cannot reproduce the uninterrupted run
+    bitwise, so ``run_pfasst(resume_from=...)`` rejects digest
+    mismatches.  ``p_nodes = 1`` keeps the historical digest input so
+    pre-existing checkpoints stay resumable.
     """
+    key: Tuple[Any, ...] = (config, p_time, p_space)
+    if p_nodes != 1:
+        key = key + (p_nodes,)
     return hashlib.blake2b(
-        repr((config, p_time, p_space)).encode("utf-8"), digest_size=8
+        repr(key).encode("utf-8"), digest_size=8
     ).hexdigest()
 
 
@@ -1044,6 +1203,7 @@ def run_pfasst(
     service_order: str = "ascending",
     tracer: Optional[Tracer] = None,
     p_space: int = 1,
+    p_nodes: int = 1,
     executor: Optional[ExecutionBackend] = None,
     certify: bool = False,
     checkpoint: Optional[Any] = None,
@@ -1078,6 +1238,20 @@ def run_pfasst(
     space row from its lowest surviving member (rows that lost *all*
     members are rebuilt from a column donor), and all space traffic is
     epoch-tagged so a restart orphans stale ring messages.
+
+    ``p_nodes > 1`` adds PFASST-ER's third dimension: the scheduler
+    world grows to ``p_time * p_space * p_nodes`` ranks on a
+    :class:`~repro.parallel.topology.SpaceTimeNodeGrid`, and every
+    multi-node RHS evaluation round shards the collocation nodes over
+    the ``p_nodes`` ranks of each time-space cell (ring allgather over
+    the node comm).  Under the default Gauss-Seidel sweeper only the
+    controller's restriction/interpolation re-evaluations are multi-node
+    rounds (the sweep substitution chain stays sequential) and the run
+    is *bitwise identical* to ``p_nodes = 1``; sweep-level node
+    parallelism needs levels built with ``LevelSpec(sweeper="diagonal")``,
+    whose Jacobi-style updates agree with ``p_nodes = 1`` bitwise as
+    well (node sharding never changes what is computed, only where).
+    The run cross-checks bitwise agreement across each node group.
 
     ``checkpoint=`` (a path) writes a durable, versioned
     :class:`~repro.pfasst.checkpoint.RunCheckpoint` every
@@ -1144,6 +1318,7 @@ def run_pfasst(
     """
     check_positive("p_time", p_time)
     check_positive("p_space", p_space)
+    check_positive("p_nodes", p_nodes)
     if backend is not None:
         from repro.backends import get_backend
 
@@ -1164,7 +1339,7 @@ def run_pfasst(
             "the uninterrupted run instead"
         )
     scheduler = Scheduler(
-        p_time * p_space, cost_model=cost_model,
+        p_time * p_space * p_nodes, cost_model=cost_model,
         measure_compute=measure_compute,
         verify=verify, fault_plan=fault_plan, service_order=service_order,
         tracer=tracer, executor=executor, certify=certify,
@@ -1174,7 +1349,7 @@ def run_pfasst(
         dispatch = DispatchContext(executor)
         for i, spec in enumerate(specs):
             dispatch.register(f"level{i}", spec.problem)
-    run_digest = _run_config_digest(config, p_time, p_space)
+    run_digest = _run_config_digest(config, p_time, p_space, p_nodes)
     checkpointer: Optional[RunCheckpointer] = None
     if checkpoint is not None:
         checkpointer = RunCheckpointer(
@@ -1197,7 +1372,20 @@ def run_pfasst(
                 "written under a different (config, p_time, p_space); "
                 "resume with the original run configuration"
             )
-    if p_space > 1:
+    if p_nodes > 1:
+        grid3 = SpaceTimeNodeGrid(p_time, p_space, p_nodes)
+        results = scheduler.run(
+            _node_grid_rank_program,
+            args=(config, specs, np.asarray(u0), spatial, grid3, dispatch,
+                  checkpointer, resume),
+        )
+        # space columns and node groups are bitwise-identical (checked
+        # inside the program); report (s, n) = (0, 0) as canonical
+        results = [
+            r for r in results
+            if r["space_rank"] == 0 and r["node_rank"] == 0
+        ]
+    elif p_space > 1:
         grid = SpaceTimeGrid(p_time, p_space)
         results = scheduler.run(
             _grid_rank_program,

@@ -32,18 +32,36 @@ class LevelSpec:
     node_type :
         Collocation family; coarse nodes should be (near-)nested in the
         fine ones.
+    sweeper :
+        ``"gauss-seidel"`` (the sequential node-to-node substitution,
+        default) or ``"diagonal"`` (the PFASST-ER Jacobi-style
+        :class:`~repro.sdc.diagonal.DiagonalSDCSweeper` with mutually
+        independent node updates — required for sweep-level ``p_nodes``
+        parallelism).
+    diagonal_coefficients :
+        Coefficient choice for the diagonal sweeper (``"ie"``,
+        ``"min"``, ``"picard"``; see
+        :func:`repro.sdc.quadrature.diagonal_coefficients`).  Ignored
+        under ``"gauss-seidel"``.
     """
 
     problem: ODEProblem
     num_nodes: int
     sweeps: int = 1
     node_type: str = "lobatto"
+    sweeper: str = "gauss-seidel"
+    diagonal_coefficients: str = "min"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
             raise ValueError(f"need >= 2 nodes per level, got {self.num_nodes}")
         if self.sweeps < 1:
             raise ValueError(f"need >= 1 sweep per level, got {self.sweeps}")
+        if self.sweeper not in ("gauss-seidel", "diagonal"):
+            raise ValueError(
+                f"unknown sweeper {self.sweeper!r}: "
+                "expected 'gauss-seidel' or 'diagonal'"
+            )
 
 
 class Level:
@@ -52,7 +70,15 @@ class Level:
     def __init__(self, spec: LevelSpec) -> None:
         self.spec = spec
         self.rule: QuadratureRule = make_rule(spec.num_nodes, spec.node_type)
-        self.sweeper = ExplicitSDCSweeper(spec.problem, self.rule)
+        if spec.sweeper == "diagonal":
+            from repro.sdc.diagonal import DiagonalSDCSweeper
+
+            self.sweeper: ExplicitSDCSweeper = DiagonalSDCSweeper(
+                spec.problem, self.rule,
+                coefficients=spec.diagonal_coefficients,
+            )
+        else:
+            self.sweeper = ExplicitSDCSweeper(spec.problem, self.rule)
         self.U: Optional[np.ndarray] = None  # (M+1, *state)
         self.F: Optional[np.ndarray] = None
         self.tau: Optional[np.ndarray] = None  # node-to-node FAS

@@ -7,8 +7,11 @@ from repro.sdc.quadrature import (
     barycentric_weights,
     lagrange_interpolation_matrix,
     lagrange_integration_weights,
+    diagonal_coefficients,
+    DIAGONAL_COEFFICIENT_CHOICES,
 )
-from repro.sdc.sweeper import ExplicitSDCSweeper
+from repro.sdc.sweeper import ExplicitSDCSweeper, evaluate_node_values, node_slice
+from repro.sdc.diagonal import DiagonalSDCSweeper
 from repro.sdc.sdc_stepper import SDCStepper, SDCRunStats
 from repro.sdc.imex import (
     SplitODEProblem,
@@ -27,6 +30,11 @@ __all__ = [
     "lagrange_interpolation_matrix",
     "lagrange_integration_weights",
     "ExplicitSDCSweeper",
+    "DiagonalSDCSweeper",
+    "evaluate_node_values",
+    "node_slice",
+    "diagonal_coefficients",
+    "DIAGONAL_COEFFICIENT_CHOICES",
     "SDCStepper",
     "SDCRunStats",
     "SplitODEProblem",

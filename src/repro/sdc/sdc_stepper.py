@@ -50,6 +50,14 @@ class SDCStepper:
     residual_tol :
         Optional early exit: stop sweeping once the collocation residual
         falls below this tolerance.
+    sweeper :
+        ``"gauss-seidel"`` (the node-to-node substitution chain, default)
+        or ``"diagonal"`` (the PFASST-ER Jacobi-style
+        :class:`~repro.sdc.diagonal.DiagonalSDCSweeper`, whose node
+        updates are mutually independent).
+    diagonal_coefficients :
+        Coefficient choice for the diagonal sweeper (see
+        :func:`repro.sdc.quadrature.diagonal_coefficients`).
     """
 
     def __init__(
@@ -60,12 +68,26 @@ class SDCStepper:
         node_type: str = "lobatto",
         residual_tol: Optional[float] = None,
         init_strategy: InitStrategy = "spread",
+        sweeper: str = "gauss-seidel",
+        diagonal_coefficients: str = "min",
     ) -> None:
         if sweeps < 1:
             raise ValueError(f"need at least 1 sweep, got {sweeps}")
         self.problem = problem
         self.rule: QuadratureRule = make_rule(num_nodes, node_type)
-        self.sweeper = ExplicitSDCSweeper(problem, self.rule)
+        if sweeper == "gauss-seidel":
+            self.sweeper = ExplicitSDCSweeper(problem, self.rule)
+        elif sweeper == "diagonal":
+            from repro.sdc.diagonal import DiagonalSDCSweeper
+
+            self.sweeper = DiagonalSDCSweeper(
+                problem, self.rule, coefficients=diagonal_coefficients
+            )
+        else:
+            raise ValueError(
+                f"unknown sweeper {sweeper!r}: "
+                "expected 'gauss-seidel' or 'diagonal'"
+            )
         self.sweeps = int(sweeps)
         self.residual_tol = residual_tol
         self.init_strategy: InitStrategy = init_strategy
@@ -75,8 +97,9 @@ class SDCStepper:
         """Advance one time step ``[t0, t0 + dt]``."""
         U, F = self.sweeper.initialize(t0, dt, u0, self.init_strategy)
         residual = float("inf")
+        pass_u0 = u0 if self.sweeper.needs_u0 else None
         for _ in range(self.sweeps):
-            U, F = self.sweeper.sweep(t0, dt, U, F)
+            U, F = self.sweeper.sweep(t0, dt, U, F, u0=pass_u0)
             self.stats.sweeps += 1
             if self.residual_tol is not None:
                 residual = self.sweeper.residual(dt, U, F, u0)

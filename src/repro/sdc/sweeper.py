@@ -4,7 +4,8 @@ State layout: node-value arrays ``U`` and ``F`` have shape
 ``(M+1, *state_shape)`` where ``M+1`` is the number of collocation nodes.
 FAS corrections ``tau`` use the *node-to-node* convention matching the
 ``S`` matrix: ``tau[m]`` corrects the integral over ``[tau_{m-1}, tau_m]``
-and ``tau[0] = 0``; cumulative form is ``tau.cumsum(axis=0)``.
+and ``tau[0]`` corrects ``[0, tau_0]`` (zero whenever the family includes
+the left endpoint); cumulative form is ``tau.cumsum(axis=0)``.
 
 One sweep applies the first-order (forward-Euler type) corrector
 
@@ -14,6 +15,13 @@ One sweep applies the first-order (forward-Euler type) corrector
 
 and each sweep raises the formal order by one, up to the order of the
 underlying quadrature.
+
+Node families whose first node sits *inside* the step (``radau-right``,
+``legendre``: ``tau_0 > 0``) are supported too: node 0 is then a genuine
+collocation unknown, updated from the step initial value ``u0`` with row
+0 of ``S`` (which integrates the interpolant over ``[0, tau_0]``), and
+the residual monitor includes it.  Such sweeps need ``u0`` on *every*
+call — there is no left-endpoint node to carry it implicitly.
 """
 
 from __future__ import annotations
@@ -23,12 +31,19 @@ from typing import Literal, Optional, Tuple
 import numpy as np
 
 from repro.analysis.sanitize import boundary
+from repro.parallel import tags
+from repro.parallel.collectives import allgather
 from repro.parallel.executor import Compute, ComputeTask
 from repro.sdc.quadrature import QuadratureRule
 from repro.utils.timing import TimingRegistry
 from repro.vortex.problem import ODEProblem
 
-__all__ = ["ExplicitSDCSweeper", "evaluate_rhs"]
+__all__ = [
+    "ExplicitSDCSweeper",
+    "evaluate_rhs",
+    "evaluate_node_values",
+    "node_slice",
+]
 
 InitStrategy = Literal["spread", "euler"]
 
@@ -65,6 +80,58 @@ def evaluate_rhs(problem: ODEProblem, space, t: float, u: np.ndarray,
     return problem.rhs(t, u)
 
 
+def node_slice(n_nodes: int, parts: int, index: int) -> Tuple[int, int]:
+    """Contiguous balanced slice ``[lo, hi)`` of ``n_nodes`` for one rank.
+
+    Remainder nodes go to the lowest ranks; ranks beyond ``n_nodes`` get
+    an empty slice (a node comm may be wider than a coarse level's node
+    count).
+    """
+    base, extra = divmod(n_nodes, parts)
+    lo = index * base + min(index, extra)
+    return lo, lo + base + (1 if index < extra else 0)
+
+
+def evaluate_node_values(problem: ODEProblem, times, values,
+                         space=None, node=None, dispatch=None):
+    """Evaluate the RHS at a set of collocation nodes, sharded over ``node``.
+
+    The PFASST-ER node comm (``node``, one rank per slice of the node
+    axis): each node rank evaluates only its own contiguous slice of the
+    ``(t, u)`` pairs — space-parallel and/or dispatched per
+    :func:`evaluate_rhs` — and the full ``F`` block is reassembled with a
+    ring allgather over the node comm.  Every node rank returns the same
+    array *bitwise*: each entry is computed on exactly one rank and
+    shared, which is what keeps ``p_nodes > 1`` runs bit-comparable to
+    ``p_nodes = 1``.
+
+    With ``node`` absent (or of size 1) the loop runs inline with zero
+    extra yields, so existing op streams are unchanged.
+    """
+    m1 = len(times)
+    if node is None or node.size <= 1:
+        out = []
+        for m in range(m1):
+            out.append((yield from evaluate_rhs(
+                problem, space, times[m], values[m], dispatch=dispatch
+            )))
+        return np.stack(out, axis=0)
+    lo, hi = node_slice(m1, node.size, node.rank)
+    mine = []
+    for m in range(lo, hi):
+        mine.append((yield from evaluate_rhs(
+            problem, space, times[m], values[m], dispatch=dispatch
+        )))
+    yield node.annotate("begin:node:rhs-allgather")
+    nbytes = int(sum(np.asarray(f).nbytes for f in mine))
+    node.metrics.counter("node.rhs_bytes").inc(nbytes)
+    node.metrics.counter("node.rhs_bytes", rank=node.world_rank).inc(nbytes)
+    parts = yield from allgather(node, mine, tag=tags.NODE_F)
+    yield node.annotate("end:node:rhs-allgather")
+    flat = [f for part in parts for f in part]
+    return np.stack(flat, axis=0)
+
+
 def _drain(gen):
     """Run a generator expected to perform zero yields; return its value."""
     try:
@@ -88,11 +155,6 @@ class ExplicitSDCSweeper:
     """
 
     def __init__(self, problem: ODEProblem, rule: QuadratureRule) -> None:
-        if not rule.node_set.includes_left:
-            raise ValueError(
-                "explicit node-to-node sweeps need the left endpoint as a "
-                f"node; {rule.node_set.node_type!r} does not include it"
-            )
         self.problem = problem
         self.rule = rule
         self.timings = TimingRegistry()
@@ -100,6 +162,16 @@ class ExplicitSDCSweeper:
     @property
     def num_nodes(self) -> int:
         return self.rule.num_nodes
+
+    @property
+    def needs_u0(self) -> bool:
+        """True when every sweep must be handed the step initial value.
+
+        Families without the left endpoint (``radau-right``,
+        ``legendre``) have no node carrying ``u0`` implicitly, so node
+        0's SDC update needs it explicitly on each call.
+        """
+        return not self.rule.node_set.includes_left
 
     def node_times(self, t0: float, dt: float) -> np.ndarray:
         """Physical times of the collocation nodes for step ``[t0, t0+dt]``."""
@@ -114,8 +186,13 @@ class ExplicitSDCSweeper:
         strategy: InitStrategy = "spread",
         space=None,
         dispatch=None,
+        node=None,
     ):
         """Generator form of :meth:`initialize` (RHS via :func:`evaluate_rhs`).
+
+        ``node`` (a PFASST-ER node comm) is accepted for call-site
+        uniformity; initialization is node-sequential (``spread`` makes
+        one evaluation, ``euler`` marches), so it is unused here.
 
         Drive with ``yield from`` inside a rank program to shard the RHS
         work over ``space`` and/or dispatch it to an execution backend
@@ -172,8 +249,16 @@ class ExplicitSDCSweeper:
         tau: Optional[np.ndarray] = None,
         space=None,
         dispatch=None,
+        node=None,
     ):
-        """Generator form of :meth:`sweep` (RHS via :func:`evaluate_rhs`)."""
+        """Generator form of :meth:`sweep` (RHS via :func:`evaluate_rhs`).
+
+        ``node`` is accepted for call-site uniformity with
+        :class:`~repro.sdc.diagonal.DiagonalSDCSweeper`; the
+        Gauss-Seidel substitution chain is inherently node-sequential,
+        so it is unused here (node ranks compute redundantly and stay
+        bitwise identical).
+        """
         with self.timings.phase("sweep"):
             m1 = self.num_nodes
             times = self.node_times(t0, dt)
@@ -185,12 +270,27 @@ class ExplicitSDCSweeper:
             U_new = np.empty_like(U)
             F_new = np.empty_like(F)
             if u0 is None:
+                if not self.rule.node_set.includes_left:
+                    raise ValueError(
+                        f"{self.rule.node_set.node_type!r} nodes do not "
+                        "include the left endpoint, so node 0 is a genuine "
+                        "collocation unknown: every sweep needs the step "
+                        "initial value u0"
+                    )
                 U_new[0] = U[0]
                 F_new[0] = F[0]
-            else:
+            elif self.rule.node_set.includes_left:
                 U_new[0] = u0
                 F_new[0] = yield from evaluate_rhs(
                     self.problem, space, times[0], u0, dispatch=dispatch
+                )
+            else:
+                # node 0 sits at tau_0 > 0: its SDC update starts from u0
+                # with row 0 of S, which integrates the interpolant (plus
+                # any FAS correction) over [0, tau_0]
+                U_new[0] = u0 + integral[0]
+                F_new[0] = yield from evaluate_rhs(
+                    self.problem, space, times[0], U_new[0], dispatch=dispatch
                 )
             for m in range(m1 - 1):
                 U_new[m + 1] = (
@@ -216,9 +316,12 @@ class ExplicitSDCSweeper:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One correction sweep; returns new ``(U, F)`` (inputs untouched).
 
-        ``u0`` overrides the initial value at node 0 (PFASST passes the
-        freshly received left-boundary value here); when omitted, ``U[0]``
-        is kept and its evaluation ``F[0]`` is reused.
+        ``u0`` overrides the step initial value (PFASST passes the
+        freshly received left-boundary value here).  For left-including
+        families it lands directly on node 0; when omitted, ``U[0]`` is
+        kept and its evaluation ``F[0]`` is reused.  For families whose
+        node 0 sits inside the step (``needs_u0``), ``u0`` is mandatory
+        and node 0 gets a genuine SDC update from it.
         """
         return _drain(self.sweep_gen(t0, dt, U, F, u0=u0, tau=tau))
 
@@ -241,7 +344,11 @@ class ExplicitSDCSweeper:
             if tau is not None:
                 rhs = rhs + np.cumsum(tau, axis=0)
             res = 0.0
-            for m in range(1, self.num_nodes):
+            # node 0 is exact by construction only when it *is* the left
+            # endpoint (tau_0 = 0); for radau-right/legendre it is a
+            # genuine collocation node whose residual must be monitored
+            start = 1 if self.rule.node_set.includes_left else 0
+            for m in range(start, self.num_nodes):
                 res = max(res, self.problem.norm(u0 + rhs[m] - U[m]))
             return res
 

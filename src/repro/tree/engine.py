@@ -171,6 +171,11 @@ _FAR_PAIR_BYTES = 904
 _FAR_BYTES_PER_PAIR = {True: 1200, False: 600}  # flat Coulomb path
 _NEAR_BYTES_PER_PAIR = {True: 480, False: 240}
 
+#: cached far-weight sets per layout — one per live moment set times
+#: (order, gradient) combination; PFASST alternates a handful of charge
+#: sets over the same positions, so keep enough slots to avoid thrash
+_FAR_WEIGHT_SLOTS = 16
+
 #: near product-expansion gate: the GEMM distance/feature expansion is
 #: used only when every *target* sits within this many core sizes of its
 #: group center.  The expansion noise of ``|t|^2 + |s|^2 - 2 t.s`` and
@@ -262,10 +267,15 @@ class TraversalLayout:
     #: max squared distance of any target to its group center — drives
     #: the near product-expansion gate (see ``_NEAR_EXPAND_SIGMA``)
     group_radius2: float = 0.0
-    #: per-(order, gradient) cached cluster-frame far weights.  Tied to
-    #: the moment set the layout was built against — the TreeState cache
-    #: rebuilds the layout whenever particles or charges change.
-    far_weights: Dict[Tuple[int, bool], np.ndarray] = field(
+    #: cached cluster-frame far weights, keyed by ``(moments.token,
+    #: order, gradient)``.  The weights are built from moment *values*,
+    #: while the layout itself is purely geometric and outlives any one
+    #: charge set (the TreeState caches it per ``(theta, variant)``) —
+    #: so the moment token MUST be part of the key, or a charge change
+    #: over the same particle positions would be served weights of the
+    #: previous charge set.  Insertion-ordered; oldest entries are
+    #: evicted beyond ``_FAR_WEIGHT_SLOTS``.
+    far_weights: Dict[Tuple[int, int, bool], np.ndarray] = field(
         default_factory=dict
     )
 
@@ -507,7 +517,7 @@ def batched_far_vortex(
     nout = 12 if gradient else 3
     n_mono = DEG_START[need + 1]
     nodes_u = layout.far_nodes_u
-    wt = layout.far_weights.get((order, gradient))
+    wt = layout.far_weights.get((moments.token, order, gradient))
     if wt is None:
         w = node_far_weights(
             moments.m0[nodes_u],
@@ -517,7 +527,9 @@ def batched_far_vortex(
         )
         # store transposed/sliced for the (B, nout, ncols) GEMM operand
         wt = np.ascontiguousarray(w[:, :ncols, :nout].transpose(0, 2, 1))
-        layout.far_weights[(order, gradient)] = wt
+        layout.far_weights[(moments.token, order, gradient)] = wt
+        while len(layout.far_weights) > _FAR_WEIGHT_SLOTS:
+            layout.far_weights.pop(next(iter(layout.far_weights)))
     centers = moments.center[nodes_u]
 
     pstart = layout.far_node_pair_start

@@ -7,16 +7,20 @@ from repro.pfasst import LevelSpec, PfasstConfig, run_pfasst
 from repro.sdc import SDCStepper
 
 
-def _specs(problem, fine_nodes=3, coarse_nodes=2, coarse_sweeps=2):
+def _specs(problem, fine_nodes=3, coarse_nodes=2, coarse_sweeps=2,
+           node_type="lobatto"):
     return [
-        LevelSpec(problem, num_nodes=fine_nodes, sweeps=1),
-        LevelSpec(problem, num_nodes=coarse_nodes, sweeps=coarse_sweeps),
+        LevelSpec(problem, num_nodes=fine_nodes, sweeps=1,
+                  node_type=node_type),
+        LevelSpec(problem, num_nodes=coarse_nodes, sweeps=coarse_sweeps,
+                  node_type=node_type),
     ]
 
 
-def _collocation_reference(problem, u0, t_end, n_steps):
+def _collocation_reference(problem, u0, t_end, n_steps,
+                           node_type="lobatto"):
     """Fine collocation solution via heavily-swept serial SDC."""
-    s = SDCStepper(problem, num_nodes=3, sweeps=14)
+    s = SDCStepper(problem, num_nodes=3, sweeps=14, node_type=node_type)
     return s.run(u0, 0.0, t_end, t_end / n_steps)
 
 
@@ -48,11 +52,15 @@ class TestValidation:
 
 
 class TestConvergence:
-    def test_converges_to_fine_collocation_solution(self, scalar_problem):
+    @pytest.mark.parametrize("node_type", ["lobatto", "radau-right"])
+    def test_converges_to_fine_collocation_solution(self, scalar_problem,
+                                                    node_type):
         u0 = np.array([1.0])
-        ref = _collocation_reference(scalar_problem, u0, 2.0, 8)
+        ref = _collocation_reference(scalar_problem, u0, 2.0, 8,
+                                     node_type=node_type)
         cfg = PfasstConfig(t0=0.0, t_end=2.0, n_steps=8, iterations=10)
-        res = run_pfasst(cfg, _specs(scalar_problem), u0, p_time=8)
+        res = run_pfasst(cfg, _specs(scalar_problem, node_type=node_type),
+                         u0, p_time=8)
         assert np.allclose(res.u_end, ref, atol=1e-10)
 
     def test_error_decreases_with_iterations(self, scalar_problem):

@@ -49,6 +49,22 @@ class TestStructure:
         t2 = fas_correction(0.2, pair, F_f, F_c)
         assert np.allclose(t2, 2 * t1)
 
+    def test_radau_first_entry_carries_sub_interval_defect(self, rng):
+        """Non-left families: node 0 sits at ``tau_0 > 0``, so entry 0
+        is the genuine quadrature defect over ``[0, tau_0]``."""
+        pair = TimeSpaceTransfer(
+            make_rule(3, "radau-right"), make_rule(2, "radau-right")
+        )
+        F_f = rng.normal(size=(3, 2))
+        F_c = rng.normal(size=(2, 2))
+        dt = 0.1
+        tau = fas_correction(dt, pair, F_f, F_c)
+        fine_cum = dt * pair.fine_rule.integrate_from_start(F_f)
+        coarse_cum = dt * pair.coarse_rule.integrate_from_start(F_c)
+        expect0 = pair.restrict_nodes(fine_cum)[0] - coarse_cum[0]
+        assert np.allclose(tau[0], expect0)
+        assert np.abs(tau[0]).max() > 1e-6  # genuinely nonzero
+
     def test_tau_fine_accumulates(self, pair, rng):
         """Multi-level: the fine tau is restricted into the coarse tau."""
         F_f = rng.normal(size=(3, 2))
@@ -64,21 +80,24 @@ class TestStructure:
 
 
 class TestFixedPointProperty:
+    @pytest.mark.parametrize("node_type", ["lobatto", "radau-right"])
     def test_restricted_fine_solution_solves_corrected_coarse_problem(
-        self, linear_problem
+        self, linear_problem, node_type
     ):
         """The PFASST fixed point: solve the fine collocation problem,
         restrict, compute tau — the coarse residual *with tau* is zero."""
         dt = 0.2
         u0 = np.array([1.0, 0.0])
-        fine_rule, coarse_rule = make_rule(3), make_rule(2)
+        fine_rule = make_rule(3, node_type)
+        coarse_rule = make_rule(2, node_type)
         pair = TimeSpaceTransfer(fine_rule, coarse_rule)
         fine = ExplicitSDCSweeper(linear_problem, fine_rule)
         coarse = ExplicitSDCSweeper(linear_problem, coarse_rule)
+        fu0 = None if fine_rule.node_set.includes_left else u0
 
         U, F = fine.initialize(0.0, dt, u0)
         for _ in range(80):
-            U, F = fine.sweep(0.0, dt, U, F)
+            U, F = fine.sweep(0.0, dt, U, F, u0=fu0)
         assert fine.residual(dt, U, F, u0) < 1e-13
 
         U_c = pair.restrict_nodes(U)
@@ -89,22 +108,27 @@ class TestFixedPointProperty:
         tau = fas_correction(dt, pair, F, F_c)
         assert coarse.residual(dt, U_c, F_c, u0, tau=tau) < 1e-13
 
-    def test_coarse_sweep_leaves_fixed_point_invariant(self, linear_problem):
+    @pytest.mark.parametrize("node_type", ["lobatto", "radau-right"])
+    def test_coarse_sweep_leaves_fixed_point_invariant(self, linear_problem,
+                                                       node_type):
         dt = 0.2
         u0 = np.array([1.0, 0.0])
-        fine_rule, coarse_rule = make_rule(3), make_rule(2)
+        fine_rule = make_rule(3, node_type)
+        coarse_rule = make_rule(2, node_type)
         pair = TimeSpaceTransfer(fine_rule, coarse_rule)
         fine = ExplicitSDCSweeper(linear_problem, fine_rule)
         coarse = ExplicitSDCSweeper(linear_problem, coarse_rule)
+        fu0 = None if fine_rule.node_set.includes_left else u0
+        cu0 = None if coarse_rule.node_set.includes_left else u0
 
         U, F = fine.initialize(0.0, dt, u0)
         for _ in range(80):
-            U, F = fine.sweep(0.0, dt, U, F)
+            U, F = fine.sweep(0.0, dt, U, F, u0=fu0)
         U_c = pair.restrict_nodes(U)
         F_c = np.stack([
             linear_problem.rhs(t, u)
             for t, u in zip(coarse.node_times(0.0, dt), U_c)
         ])
         tau = fas_correction(dt, pair, F, F_c)
-        U_c2, _ = coarse.sweep(0.0, dt, U_c, F_c, tau=tau)
+        U_c2, _ = coarse.sweep(0.0, dt, U_c, F_c, u0=cu0, tau=tau)
         assert np.allclose(U_c2, U_c, atol=1e-12)

@@ -80,3 +80,28 @@ class TestNodeArrays:
         u = rng.normal(size=(7, 3))
         assert np.allclose(transfer.restrict_state(u), u)
         assert np.allclose(transfer.interpolate_state(u), u)
+
+
+class TestFamilyPairing:
+    """Level pairs must agree on whether node 0 is the left endpoint."""
+
+    def test_mixed_left_endpoint_families_rejected(self):
+        with pytest.raises(ValueError, match="unsupported level pairing"):
+            TimeSpaceTransfer(make_rule(3, "lobatto"),
+                              make_rule(2, "radau-right"))
+
+    def test_error_names_both_families(self):
+        with pytest.raises(ValueError, match="radau-right.*lobatto"):
+            TimeSpaceTransfer(make_rule(3, "radau-right"),
+                              make_rule(2, "lobatto"))
+
+    def test_matching_non_left_families_accepted(self):
+        tr = TimeSpaceTransfer(make_rule(3, "radau-right"),
+                               make_rule(2, "radau-right"))
+        assert tr.R_time.shape == (2, 3)
+
+    def test_legendre_radau_pair_accepted(self):
+        """Both exclude the left endpoint — a legal (if unusual) pairing."""
+        tr = TimeSpaceTransfer(make_rule(3, "legendre"),
+                               make_rule(2, "radau-right"))
+        assert tr.P_time.shape == (3, 2)

@@ -8,9 +8,20 @@ from repro.sdc.sweeper import ExplicitSDCSweeper
 
 
 class TestConstruction:
-    def test_left_endpoint_required(self, scalar_problem):
-        with pytest.raises(ValueError, match="left endpoint"):
-            ExplicitSDCSweeper(scalar_problem, make_rule(3, "radau-right"))
+    def test_non_left_family_accepted(self, scalar_problem):
+        sw = ExplicitSDCSweeper(scalar_problem, make_rule(3, "radau-right"))
+        assert sw.num_nodes == 3
+        assert sw.needs_u0  # node 0 is a genuine unknown
+
+    def test_non_left_sweep_requires_u0(self, scalar_problem):
+        sw = ExplicitSDCSweeper(scalar_problem, make_rule(3, "radau-right"))
+        U, F = sw.initialize(0.0, 0.1, np.array([1.0]))
+        with pytest.raises(ValueError, match="u0"):
+            sw.sweep(0.0, 0.1, U, F)
+
+    def test_lobatto_does_not_need_u0(self, scalar_problem):
+        sw = ExplicitSDCSweeper(scalar_problem, make_rule(3))
+        assert not sw.needs_u0
 
     def test_lobatto_accepted(self, scalar_problem):
         sw = ExplicitSDCSweeper(scalar_problem, make_rule(3))

@@ -88,6 +88,27 @@ class TestRepeatedEvaluation:
         assert not s.moments_cached  # new charges: moments recomputed
         assert s.traversal_cached  # traversal is geometry-only
 
+    def test_charge_change_is_bitwise_pure(self, sheet):
+        """Regression: the engine layout (cached per geometry) lazily
+        caches *moment-derived* far weights.  Before the weights were
+        keyed by moment identity, evaluating charge set A and then
+        charge set B over the same positions served B the weights built
+        from A's moments — the warm path returned a different answer
+        than a cold evaluator.  Caught in a P_T=4 x P_N=3 PFASST run by
+        the node-group digest cross-check."""
+        ps, _, _ = sheet
+        other = ps.charges * 1.1 + 1e-3
+        warm = _fresh_evaluator(sheet)
+        warm.field(ps.positions, other, gradient=True)
+        hit = warm.field(ps.positions, ps.charges, gradient=True)
+        s = warm.last_stats
+        assert s.build_cached and s.traversal_cached  # warm geometry
+        cold = _fresh_evaluator(sheet).field(
+            ps.positions, ps.charges, gradient=True
+        )
+        assert np.array_equal(hit.velocity, cold.velocity)
+        assert np.array_equal(hit.gradient, cold.gradient)
+
     def test_inplace_mutation_cannot_go_stale(self, sheet):
         """Content fingerprinting: mutating the caller's array in place is
         a miss, never a stale hit."""
